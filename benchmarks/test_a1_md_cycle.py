@@ -1,0 +1,53 @@
+"""A1 — full SCF cycle per MD step, with energy to solution.
+
+DESIGN.md's ablation of the "tailored for molecular dynamics" design
+point: an MD step needs a whole SCF cycle, and incremental
+(density-difference) builds shrink every iteration after the first.
+Also reports energy to solution — the metric BG/Q was built around.
+"""
+
+from repro.analysis.report import format_seconds, format_table
+from repro.hfx import simulate_scf_cycle
+from repro.machine import bgq_racks, energy_to_solution
+
+from conftest import FLOP_SCALE
+
+RACKS = 16
+N_ITER = 8
+
+
+def test_a1_md_cycle(report, benchmark, condensed_workload):
+    cfg = bgq_racks(RACKS)
+    wl = condensed_workload.split(
+        condensed_workload.total_flops / (cfg.nranks * 24))
+
+    full = simulate_scf_cycle(wl, cfg, n_iter=N_ITER, incremental=False,
+                              flop_scale=FLOP_SCALE)
+    inc = simulate_scf_cycle(wl, cfg, n_iter=N_ITER, incremental=True,
+                             flop_scale=FLOP_SCALE, rebuild_every=N_ITER)
+
+    rows = []
+    for k in range(N_ITER):
+        rows.append([k, f"{inc.work_fractions[k]:.3f}",
+                     format_seconds(full.builds[k].makespan),
+                     format_seconds(inc.builds[k].makespan)])
+    e_full = sum(energy_to_solution(b, cfg) for b in full.builds)
+    e_inc = sum(energy_to_solution(b, cfg) for b in inc.builds)
+    table = format_table(
+        rows, headers=["SCF iter", "work fraction", "t(full build)",
+                       "t(incremental)"],
+        title=f"A1: one MD step's SCF cycle at {RACKS} racks "
+              f"({N_ITER} iterations)")
+    summary = (
+        f"\ncycle time:   full {format_seconds(full.total_time)}   "
+        f"incremental {format_seconds(inc.total_time)}   "
+        f"({(1 - inc.total_time / full.total_time) * 100:.0f}% saved)"
+        f"\ncycle energy: full {e_full / 1e6:.1f} MJ   "
+        f"incremental {e_inc / 1e6:.1f} MJ")
+    report(table + summary)
+
+    assert inc.total_time < 0.85 * full.total_time
+    assert e_inc < e_full
+
+    benchmark(lambda: simulate_scf_cycle(wl, cfg, n_iter=4,
+                                         flop_scale=FLOP_SCALE))

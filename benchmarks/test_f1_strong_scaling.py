@@ -1,0 +1,60 @@
+"""F1 — strong scaling of the HFX scheme to 6,291,456 threads.
+
+The paper's headline figure: time per HFX build and parallel efficiency
+versus hardware-thread count, 1 to 96 BG/Q racks, with near-perfect
+efficiency at the full machine.
+"""
+
+import numpy as np
+
+from repro.analysis.ascii_fig import line_plot
+from repro.analysis.report import format_seconds, format_si, format_table
+from repro.hfx import HFXScheme
+from repro.machine import bgq_racks, parallel_efficiency
+
+from conftest import FLOP_SCALE
+
+RACKS = (1, 2, 4, 8, 16, 32, 48, 64, 96)
+
+
+def test_f1_strong_scaling(report, benchmark, condensed_workload):
+    cfg_max = bgq_racks(RACKS[-1])
+    wl = condensed_workload.split(
+        condensed_workload.total_flops / (cfg_max.nranks * 24))
+
+    timings = {}
+    for racks in RACKS:
+        cfg = bgq_racks(racks)
+        bt = HFXScheme(wl, cfg, flop_scale=FLOP_SCALE).simulate()
+        timings[cfg.total_threads] = bt
+    eff = parallel_efficiency(timings)
+
+    rows = []
+    for thr in sorted(timings):
+        bt = timings[thr]
+        rows.append([f"{thr / 65536:.0f}", format_si(thr),
+                     format_seconds(bt.makespan),
+                     f"{eff[thr]:.3f}",
+                     f"{bt.compute_fraction:.3f}",
+                     f"{bt.imbalance:.3f}"])
+    table = format_table(
+        rows, headers=["racks", "threads", "t(HFX build)", "efficiency",
+                       "compute frac", "imbalance"],
+        title=f"F1: strong scaling, {condensed_workload.label} "
+              f"(TZV2P-model, eps=1e-8)")
+    thr = np.array(sorted(timings))
+    fig = line_plot(
+        {"measured": (thr, np.array([timings[t].makespan for t in thr])),
+         "ideal": (thr, timings[thr[0]].makespan * thr[0] / thr)},
+        logx=True, logy=True, title="time per HFX build vs threads",
+        xlabel="hardware threads")
+    report(table + "\n\n" + fig)
+
+    # the abstract's claim: near-perfect efficiency at 6,291,456 threads
+    assert max(timings) == 6_291_456
+    assert eff[6_291_456] > 0.85
+    assert all(e > 0.85 for e in eff.values())
+
+    # timed kernel: one full-machine plan+price
+    cfg = bgq_racks(96)
+    benchmark(lambda: HFXScheme(wl, cfg, flop_scale=FLOP_SCALE).simulate())

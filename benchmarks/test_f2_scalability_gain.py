@@ -1,0 +1,85 @@
+"""F2 — scalability versus the state of the art (>20x claim).
+
+The abstract: "unprecedented scalability up to 6,291,456 threads ...
+more than 20-fold improvement as compared to the current state of the
+art."  We measure both codes' *maximum useful thread count* (largest
+partition still at >= 50% strong-scaling efficiency) on the same
+workload and report the ratio.
+
+The baseline runs in its native configuration (flat MPI, 16
+single-threaded ranks/node, replicated data, global-counter dispatch).
+"""
+
+import numpy as np
+
+from repro.analysis.ascii_fig import line_plot
+from repro.analysis.report import format_si, format_table
+from repro.analysis.scaling import max_threads_at_efficiency
+from repro.hfx import HFXScheme, ReplicatedDynamicBaseline
+from repro.machine import bgq_racks, parallel_efficiency
+
+from repro.hfx import legacy_ranks_per_node
+
+from conftest import FLOP_SCALE, TZV2P_NBF_FACTOR
+
+RACKS = (0.25, 1, 2, 4, 8, 16, 32, 48, 96)
+# legacy pthreads implementations scaled to ~4 threads per process
+LEGACY_THREADS = 4
+
+
+def test_f2_scalability_gain(report, benchmark, condensed_workload):
+    cfg_max = bgq_racks(RACKS[-1])
+    wl = condensed_workload.split(
+        condensed_workload.total_flops / (cfg_max.nranks * 24))
+
+    # the baseline replicates D and K at production (TZV2P-model) size:
+    # the 16 GB nodes then fit a single rank
+    nbf_model = int(condensed_workload.nbf * TZV2P_NBF_FACTOR)
+    rpn = legacy_ranks_per_node(nbf_model)
+
+    scheme_t, base_t = {}, {}
+    for racks in RACKS:
+        cfg = bgq_racks(racks)
+        cfgb = bgq_racks(racks, ranks_per_node=rpn)
+        scheme_t[cfg.total_threads] = HFXScheme(
+            wl, cfg, flop_scale=FLOP_SCALE).simulate()
+        base = ReplicatedDynamicBaseline(
+            condensed_workload, cfgb, flop_scale=FLOP_SCALE,
+            cores=LEGACY_THREADS)
+        base_t[base.threads_used()] = base.simulate()
+
+    eff_s = parallel_efficiency(scheme_t)
+    eff_b = parallel_efficiency(base_t)
+
+    thr_s = np.array(sorted(scheme_t))
+    thr_b = np.array(sorted(base_t))
+    t_s = np.array([scheme_t[t].makespan for t in thr_s])
+    t_b = np.array([base_t[t].makespan for t in thr_b])
+    max_s = max_threads_at_efficiency(thr_s, t_s, 0.5)
+    max_b = max_threads_at_efficiency(thr_b, t_b, 0.5)
+
+    rows = []
+    for a, b in zip(thr_s, thr_b):
+        rows.append([format_si(a), f"{scheme_t[a].makespan:.3f}",
+                     f"{eff_s[a]:.3f}",
+                     format_si(b), f"{base_t[b].makespan:.3f}",
+                     f"{eff_b[b]:.3f}"])
+    table = format_table(
+        rows, headers=["thr(ours)", "t(ours)", "eff(ours)",
+                       "thr(base)", "t(base)", "eff(base)"],
+        title="F2: scalability — our scheme vs replicated/dynamic baseline")
+    summary = (f"\nmax useful threads @ eff>=0.5:  "
+               f"ours {format_si(max_s)}   baseline {format_si(max_b)}   "
+               f"improvement {max_s / max_b:.1f}x (paper: >20x)")
+    fig = line_plot({"ours": (thr_s, np.array([eff_s[t] for t in thr_s])),
+                     "baseline": (thr_b, np.array([eff_b[t] for t in thr_b]))},
+                    logx=True, title="parallel efficiency vs threads",
+                    xlabel="hardware threads", ylabel="efficiency")
+    report(table + summary + "\n\n" + fig)
+
+    assert max_s / max_b > 20.0     # the paper's >20-fold claim
+    assert max_s >= 6_291_456 * 0.9
+
+    cfg = bgq_racks(16, ranks_per_node=16)
+    benchmark(lambda: ReplicatedDynamicBaseline(
+        condensed_workload, cfg, flop_scale=FLOP_SCALE).simulate())

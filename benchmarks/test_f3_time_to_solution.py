@@ -1,0 +1,73 @@
+"""F3 — time-to-solution versus directly comparable approaches (>10x).
+
+The abstract: "an improvement that can surpass a 10-fold decrease in
+runtime with respect to directly comparable approaches."  At a fixed
+matched partition we walk the ablation stack from the legacy baseline
+to the full scheme, attributing the gain to its ingredients:
+
+  1. legacy baseline (flat MPI, replicated, counter dispatch, scalar,
+     1 thread/core)
+  2. + cost-model static balancing (no counter, no replication)
+  3. + 4-way SMT
+  4. + QPX short-vector kernels  (= the full scheme)
+"""
+
+import numpy as np
+
+from repro.analysis.ascii_fig import bar_chart
+from repro.analysis.report import format_seconds, format_table
+from repro.hfx import HFXScheme, ReplicatedDynamicBaseline
+from repro.machine import NodeComputeModel, bgq_racks
+
+from conftest import FLOP_SCALE
+
+RACKS = 16  # a mid-size partition where the baseline still runs sanely
+
+
+def test_f3_time_to_solution(report, benchmark, condensed_workload):
+    cfg = bgq_racks(RACKS)
+    wl = condensed_workload.split(
+        condensed_workload.total_flops / (cfg.nranks * 24))
+
+    # legacy configuration: replicated TZV2P-size matrices allow one
+    # rank per node; its pthreads scale to ~4 of the 16 cores
+    from repro.hfx import legacy_ranks_per_node
+    from conftest import TZV2P_NBF_FACTOR
+
+    nbf_model = int(condensed_workload.nbf * TZV2P_NBF_FACTOR)
+    cfgb = bgq_racks(RACKS, ranks_per_node=legacy_ranks_per_node(nbf_model))
+    t_legacy = ReplicatedDynamicBaseline(
+        condensed_workload, cfgb, flop_scale=FLOP_SCALE,
+        cores=4).simulate().makespan
+    # static balanced, distributed data, but still 1 thread/core scalar
+    node_scalar = NodeComputeModel(cfg, smt=1, simd=False)
+    t_static = HFXScheme(wl, cfg, flop_scale=FLOP_SCALE,
+                         node=node_scalar).simulate().makespan
+    node_smt = NodeComputeModel(cfg, smt=4, simd=False)
+    t_smt = HFXScheme(wl, cfg, flop_scale=FLOP_SCALE,
+                      node=node_smt).simulate().makespan
+    t_full = HFXScheme(wl, cfg, flop_scale=FLOP_SCALE).simulate().makespan
+
+    steps = [
+        ("legacy baseline", t_legacy),
+        ("+ static cost-model balance", t_static),
+        ("+ 4-way SMT", t_smt),
+        ("+ QPX vector kernels (full)", t_full),
+    ]
+    rows = [[name, format_seconds(t), f"{t_legacy / t:.2f}x"]
+            for name, t in steps]
+    table = format_table(rows,
+                         headers=["configuration", "t(HFX build)",
+                                  "speedup vs legacy"],
+                         title=f"F3: time to solution at {RACKS} racks "
+                               f"({cfg.total_threads} hardware threads)")
+    fig = bar_chart({name: t for name, t in steps}, unit="s",
+                    title="HFX build time by configuration")
+    report(table + "\n\n" + fig)
+
+    assert t_legacy / t_full > 10.0    # the paper's >10-fold claim
+    # each ablation step helps
+    times = [t for _, t in steps]
+    assert all(b < a for a, b in zip(times, times[1:]))
+
+    benchmark(lambda: HFXScheme(wl, cfg, flop_scale=FLOP_SCALE).simulate())

@@ -1,0 +1,84 @@
+"""F6 — the role of the highly dimensional interconnect.
+
+The abstract credits "highly dimensional interconnection networks".
+Two ablations quantify that:
+
+  a) the same node count wired as a 1-D ring, 2-D/3-D mesh, and the
+     real 5-D torus: collective cost and its share of an HFX build;
+  b) task-to-node mapping (ABCDET vs blocked vs random): dilation and
+     the resulting software-collective penalty.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_seconds, format_table
+from repro.hfx import HFXScheme, scheme_comm_plan
+from repro.machine import (CollectiveModel, Torus, abcdet_mapping,
+                           bgq_racks, blocked_mapping, dilation,
+                           random_mapping)
+
+from conftest import FLOP_SCALE
+
+# 4096 nodes (4 racks) factored into tori of decreasing dimensionality
+SHAPES = {
+    "5-D (8x8x8x4x2)": (8, 8, 8, 4, 2),
+    "3-D (16x16x16)": (16, 16, 16),
+    "2-D (64x64)": (64, 64),
+    "1-D ring (4096)": (4096,),
+}
+
+
+def test_f6_network(report, benchmark, condensed_workload):
+    racks = 4
+    cfg = bgq_racks(racks)
+    wl = condensed_workload.split(
+        condensed_workload.total_flops / (cfg.nranks * 16))
+    bt = HFXScheme(wl, cfg, flop_scale=FLOP_SCALE).simulate()
+    payload = scheme_comm_plan(wl, cfg).allreduce_bytes
+
+    rows = []
+    for label, dims in SHAPES.items():
+        torus = Torus(dims)
+        coll = CollectiveModel(cfg, torus, "torus_tree")
+        t_tree = coll.allreduce(payload)
+        ring = CollectiveModel(cfg, torus, "ring")
+        t_ring = ring.allreduce(payload)
+        rows.append([label, torus.diameter,
+                     f"{torus.average_distance():.1f}",
+                     format_seconds(t_tree), format_seconds(t_ring)])
+    table1 = format_table(
+        rows, headers=["topology", "diameter", "avg hops",
+                       "hw-tree allreduce", "sw-ring allreduce"],
+        title=f"F6a: allreduce of the exchange payload "
+              f"({payload} B) on {cfg.nodes} nodes")
+
+    # mapping ablation on the real 5-D torus
+    torus = Torus(cfg.torus_dims)
+    map_rows = []
+    for mapping in (abcdet_mapping(torus), blocked_mapping(torus, 64),
+                    random_mapping(torus, seed=3)):
+        d = dilation(mapping)
+        coll = CollectiveModel(cfg, torus, "ring", dilation=d)
+        t = coll.allreduce(payload)
+        map_rows.append([mapping.name, f"{d:.2f}", format_seconds(t)])
+    table2 = format_table(
+        map_rows, headers=["mapping", "dilation", "sw-ring allreduce"],
+        title="F6b: task-to-node mapping on the 5-D torus")
+
+    summary = (f"\nHFX build at {racks} racks: compute "
+               f"{format_seconds(bt.compute_time)}, collectives "
+               f"{format_seconds(bt.comm_time)} "
+               f"({100 * (1 - bt.compute_fraction):.2f}% of makespan)")
+    report(table1 + "\n\n" + table2 + summary)
+
+    # 5-D torus: diameter an order of magnitude below the ring's
+    d5 = Torus(SHAPES["5-D (8x8x8x4x2)"]).diameter
+    d1 = Torus(SHAPES["1-D ring (4096)"]).diameter
+    assert d5 * 50 < d1
+    # collectives are a negligible share of the build on the 5-D torus
+    assert bt.comm_time < 0.02 * bt.makespan
+    # locality-aware mapping beats random
+    assert float(map_rows[0][1]) < float(map_rows[2][1])
+
+    coll = CollectiveModel(cfg, torus, "torus_tree")
+    benchmark(lambda: coll.allreduce(payload))

@@ -1,0 +1,49 @@
+"""Kernel microbenchmark — the serial ERI quartet engine.
+
+Not a paper figure, but the quantity every simulated number is
+calibrated against: sustained quartet throughput per kernel class of
+this Python engine (the BG/Q model supplies the hardware rates; see
+DESIGN.md).
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.basis import build_basis
+from repro.basis.shellpair import build_shell_pairs
+from repro.chem import builders
+from repro.hfx.costmodel import quartet_flops
+from repro.integrals.eri import eri_quartet
+
+
+def test_eri_kernel_throughput(report, benchmark):
+    b = build_basis(builders.water())
+    pairs = build_shell_pairs(b.shells)
+    # classes: (ss|ss), (sp|sp), (pp|pp)
+    cases = {
+        "(ss|ss)": (pairs[(0, 1)], pairs[(0, 1)]),
+        "(sp|sp)": (pairs[(0, 2)], pairs[(0, 2)]),
+        "(pp|pp)": (pairs[(2, 2)], pairs[(2, 2)]),
+    }
+    import time
+
+    rows = []
+    for label, (bra, ket) in cases.items():
+        eri_quartet(bra, ket)   # warm pair caches
+        n = 200
+        t0 = time.perf_counter()
+        for _ in range(n):
+            eri_quartet(bra, ket)
+        dt = (time.perf_counter() - t0) / n
+        flops = quartet_flops(bra.sha.l, bra.shb.l, ket.sha.l, ket.shb.l,
+                              bra.nprim, ket.nprim)
+        rows.append([label, f"{dt * 1e6:.1f}", f"{flops:.0f}",
+                     f"{flops / dt / 1e6:.1f}"])
+    table = format_table(
+        rows, headers=["class", "us/quartet", "model flops",
+                       "model Mflop/s"],
+        title="ERI quartet kernel throughput (this Python engine)")
+    report(table)
+
+    bra, ket = cases["(sp|sp)"]
+    benchmark(lambda: eri_quartet(bra, ket))

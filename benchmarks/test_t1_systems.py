@@ -1,0 +1,45 @@
+"""T1 — benchmark-system inventory (the paper's systems table).
+
+Regenerates, for each benchmark system, the rows a systems table
+reports: atoms, basis functions, shells, significant screened pairs,
+surviving quartets, and estimated work — the quantities that determine
+how far each system can strong-scale.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_si, format_table
+from repro.chem import builders
+from repro.hfx import electrolyte_workload, water_box_workload
+
+
+def _row(label, mol, wl):
+    return [label, mol.natom, wl.nbf, wl.nocc, wl.ntasks,
+            format_si(float(wl.total_quartets)),
+            f"{wl.total_flops / 1e9:.3g}"]
+
+
+def test_t1_system_inventory(report, benchmark):
+    rows = []
+    for n in (32, 64, 128, 256):
+        mol, _ = builders.water_box(n, seed=0)
+        wl = water_box_workload(n, eps=1e-8, seed=0)
+        rows.append(_row(f"(H2O){n}", mol, wl))
+    mol, _ = builders.electrolyte_box("PC", 16, seed=1)
+    wl = electrolyte_workload("PC", 16, eps=1e-8, seed=1)
+    rows.append(_row("PCx16+Li2O2", mol, wl))
+
+    table = format_table(
+        rows,
+        headers=["system", "atoms", "nbf", "nocc", "pair tasks",
+                 "quartets", "GFlop (STO-3G)"],
+        title="T1: benchmark systems (eps = 1e-8)")
+    report(table)
+
+    # shape checks: work grows superlinearly but far below N^4
+    q = [float(r[5][:-1]) if r[5][-1] in "kMGT" else float(r[5])
+         for r in rows[:4]]
+    assert rows[1][4] > rows[0][4]
+
+    # the timed kernel: workload generation for the smallest system
+    benchmark(lambda: water_box_workload(32, eps=1e-8, seed=3))

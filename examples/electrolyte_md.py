@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Classical MD of a model electrolyte box.
+
+Equilibrates a periodic box of propylene carbonate around a Li2O2 unit
+with the classical force field (the large-box substrate the quantum
+engine cannot afford), then reports structure: the Li-O(solvent) radial
+distribution — the solvation-shell picture that frames the degradation
+chemistry.
+
+Run:  python examples/electrolyte_md.py [nsteps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.ascii_fig import line_plot
+from repro.chem import builders
+from repro.constants import fs_to_aut
+from repro.md import (BerendsenThermostat, ForceField, VelocityVerlet,
+                      initialize_velocities, rdf, temperature_series)
+
+NSTEPS = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+
+mol, cell = builders.electrolyte_box("PC", n_solvent=8, seed=2)
+print(f"system: {mol.name} — {mol.natom} atoms, cubic cell "
+      f"{cell.lengths[0]:.1f} Bohr\n")
+
+ff = ForceField(mol, cell=cell)
+print(f"force field: {len(ff.bonds)} bonds, {len(ff.angles)} angles, "
+      f"LJ + exclusions")
+
+masses = mol.masses
+vv = VelocityVerlet(ff, masses, fs_to_aut(0.5),
+                    thermostat=BerendsenThermostat(T=350.0, tau=fs_to_aut(50)))
+state = vv.initial_state(mol.coords,
+                         initialize_velocities(masses, 350.0, seed=3))
+print(f"integrating {NSTEPS} steps of 0.5 fs at 350 K (Berendsen) ...")
+traj = vv.run(state, NSTEPS)
+
+temps = temperature_series(traj, masses)
+print(f"temperature: start {temps[0]:.0f} K, "
+      f"mean(last half) {temps[len(temps) // 2:].mean():.0f} K")
+
+# Li-O(carbonyl) RDF over the second half of the trajectory
+li_idx = np.array([i for i, s in enumerate(mol.symbols) if s == "Li"])
+o_idx = np.array([i for i, s in enumerate(mol.symbols) if s == "O"])
+frames = [s.coords for s in traj[len(traj) // 2:]]
+r, g = rdf(frames, li_idx, o_idx, cell=cell, rmax=12.0, nbins=30)
+print()
+print(line_plot({"g_LiO(r)": (r, g)},
+                title="Li-O radial distribution (model electrolyte)",
+                xlabel="r (Bohr)"))
+first_peak = r[np.argmax(g)]
+print(f"\nfirst Li-O peak at {first_peak:.1f} Bohr "
+      f"({first_peak * 0.529:.2f} Angstrom) — the contact solvation "
+      "shell where the degradation chemistry happens.")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Lithium/air solvent screening — the paper's chemistry result.
+
+Computes peroxide-attack energy profiles for the candidate electrolyte
+solvents with real SCF energies, prints the stability ranking, and
+shows the hybrid-functional effect.
+
+Run:  python examples/liair_screening.py [--fast]
+      (--fast: HF only, two solvents, ~1 minute)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.ascii_fig import line_plot
+from repro.analysis.report import print_table
+from repro.liair import SOLVENTS, screen_solvents
+
+fast = "--fast" in sys.argv
+solvents = ("PC", "DMSO") if fast else ("PC", "DMSO", "ACN")
+methods = ("hf",) if fast else ("hf", "pbe0")
+distances = np.array([4.0, 3.0, 2.4, 2.0]) if fast else \
+    np.array([4.0, 3.2, 2.6, 2.2, 2.0])
+
+print("candidate electrolyte solvents:")
+for key in solvents:
+    sv = SOLVENTS[key]
+    print(f"  {sv.name:5s} {sv.full_name:22s} — {sv.paper_role}")
+print()
+print(f"running {len(solvents)}x{len(methods)} attack profiles "
+      f"({len(distances)} points each; real SCF) ...\n")
+
+result = screen_solvents(solvents=solvents, methods=methods,
+                         distances=distances, grid_level=(24, 26))
+
+rows = [[r["solvent"], r["method"], r["well_kcal"], r["well_A"],
+         r["attack_kcal"], "ATTACKED" if r["degrades"] else "stable"]
+        for r in result.table()]
+print_table(rows, headers=["solvent", "method", "well(kcal)", "r(A)",
+                           "contact dE", "verdict"],
+            title="peroxide attack on candidate electrolytes")
+
+m = methods[-1]
+print(f"\n{m.upper()} stability ranking (most stable first):")
+for i, (sv, score) in enumerate(result.ranking(m), 1):
+    print(f"  {i}. {sv:5s} score {score:+7.2f} kcal/mol")
+
+series = {sv: (result.profiles[(sv, m)].distances,
+               result.profiles[(sv, m)].energies * 627.5094740631)
+          for sv in solvents}
+print()
+print(line_plot(series,
+                title=f"{m.upper()} approach profiles (kcal/mol vs far)",
+                xlabel="O...X distance (Angstrom)"))
+print("\nconclusion: propylene carbonate is attacked by the peroxide "
+      "species; the\nsulfoxide-class solvent resists — the paper's "
+      "solvent-replacement result.")

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scaling study: walk the paper's evaluation interactively.
+
+Builds a condensed-phase workload, sweeps BG/Q partitions from one
+midplane to the full 96-rack machine, and prints the scheme-vs-baseline
+comparison with the abstract's three claims annotated.
+
+Run:  python examples/scaling_study.py [n_waters]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import HFXScheme, ReplicatedDynamicBaseline, bgq_racks
+from repro.analysis.ascii_fig import line_plot
+from repro.analysis.report import format_seconds, format_si, print_table
+from repro.analysis.scaling import max_threads_at_efficiency
+from repro.hfx import legacy_ranks_per_node, water_box_workload
+from repro.machine import parallel_efficiency
+
+N_WATERS = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+FLOP_SCALE = 50.0   # STO-3G task statistics -> TZV2P-class cost
+RACKS = (0.5, 1, 2, 4, 8, 16, 32, 48, 96)
+
+print(f"generating condensed-phase workload: (H2O){N_WATERS} ...")
+wl = water_box_workload(N_WATERS, eps=1e-8)
+print(f"  {wl.ntasks} pair tasks, {format_si(wl.total_quartets)} screened "
+      f"quartets, {wl.total_flops * FLOP_SCALE / 1e12:.1f} TFlop per build\n")
+
+cfg_max = bgq_racks(RACKS[-1])
+wls = wl.split(wl.total_flops / (cfg_max.nranks * 16))
+nbf_model = int(wl.nbf * 58 / 7)
+rpn = legacy_ranks_per_node(nbf_model)
+
+scheme_t, base_t = {}, {}
+for racks in RACKS:
+    cfg = bgq_racks(racks)
+    scheme_t[cfg.total_threads] = HFXScheme(
+        wls, cfg, flop_scale=FLOP_SCALE).simulate()
+    base = ReplicatedDynamicBaseline(
+        wl, bgq_racks(racks, ranks_per_node=rpn),
+        flop_scale=FLOP_SCALE, cores=4)
+    base_t[base.threads_used()] = base.simulate()
+
+eff_s = parallel_efficiency(scheme_t)
+eff_b = parallel_efficiency(base_t)
+
+rows = []
+for a, b in zip(sorted(scheme_t), sorted(base_t)):
+    rows.append([format_si(a), format_seconds(scheme_t[a].makespan),
+                 f"{eff_s[a]:.3f}",
+                 format_si(b), format_seconds(base_t[b].makespan),
+                 f"{eff_b[b]:.3f}"])
+print_table(rows, headers=["thr(scheme)", "t", "eff",
+                           "thr(legacy)", "t", "eff"],
+            title="strong scaling: this work vs replicated/dynamic legacy")
+
+thr_s = np.array(sorted(scheme_t))
+thr_b = np.array(sorted(base_t))
+max_s = max_threads_at_efficiency(
+    thr_s, np.array([scheme_t[t].makespan for t in thr_s]), 0.5)
+max_b = max_threads_at_efficiency(
+    thr_b, np.array([base_t[t].makespan for t in thr_b]), 0.5)
+
+print()
+print(f"claim 1 (threads):      scheme runs {format_si(max(scheme_t))} "
+      f"hardware threads at {eff_s[max(scheme_t)]:.0%} efficiency")
+print(f"claim 2 (scalability):  useful-threads ratio "
+      f"{max_s / max_b:.1f}x  (paper: >20x)")
+t_ratio = (base_t[max(base_t)].makespan / scheme_t[max(scheme_t)].makespan)
+print(f"claim 3 (time):         {t_ratio:.0f}x faster at the top "
+      f"partitions  (paper: >10x)")
+print()
+print(line_plot(
+    {"scheme": (thr_s, np.array([eff_s[t] for t in thr_s])),
+     "legacy": (thr_b, np.array([eff_b[t] for t in thr_b]))},
+    logx=True, title="parallel efficiency", xlabel="hardware threads"))

@@ -1,0 +1,80 @@
+"""Terminal (ASCII) figures for the benchmark harnesses — each paper
+figure gets a printable rendition so the reproduction is inspectable
+without a plotting stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["line_plot", "bar_chart"]
+
+
+def line_plot(series: dict[str, tuple[np.ndarray, np.ndarray]],
+              width: int = 68, height: int = 18, logx: bool = False,
+              logy: bool = False, title: str = "",
+              xlabel: str = "", ylabel: str = "") -> str:
+    """Multi-series scatter/line plot on a character canvas.
+
+    ``series`` maps label -> (x, y).  Each series gets a marker from
+    ``*+ox#@`` in order.
+    """
+    markers = "*+ox#@"
+    xs = np.concatenate([np.asarray(x, float) for x, _ in series.values()])
+    ys = np.concatenate([np.asarray(y, float) for _, y in series.values()])
+    if logx:
+        xs = np.log10(np.maximum(xs, 1e-300))
+    if logy:
+        ys = np.log10(np.maximum(ys, 1e-300))
+    x0, x1 = float(xs.min()), float(xs.max())
+    y0, y1 = float(ys.min()), float(ys.max())
+    if x1 - x0 < 1e-12:
+        x1 = x0 + 1.0
+    if y1 - y0 < 1e-12:
+        y1 = y0 + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for si, (label, (x, y)) in enumerate(series.items()):
+        m = markers[si % len(markers)]
+        x = np.asarray(x, float)
+        y = np.asarray(y, float)
+        if logx:
+            x = np.log10(np.maximum(x, 1e-300))
+        if logy:
+            y = np.log10(np.maximum(y, 1e-300))
+        for xi, yi in zip(x, y):
+            cx = int(round((xi - x0) / (x1 - x0) * (width - 1)))
+            cy = int(round((yi - y0) / (y1 - y0) * (height - 1)))
+            canvas[height - 1 - cy][cx] = m
+    lines = []
+    if title:
+        lines.append(title)
+    ytop = 10 ** y1 if logy else y1
+    ybot = 10 ** y0 if logy else y0
+    lines.append(f"{ytop:11.3g} +" + "-" * width + "+")
+    for row in canvas:
+        lines.append(" " * 11 + " |" + "".join(row) + "|")
+    lines.append(f"{ybot:11.3g} +" + "-" * width + "+")
+    xleft = 10 ** x0 if logx else x0
+    xright = 10 ** x1 if logx else x1
+    lines.append(" " * 13 + f"{xleft:<12.4g}"
+                 + xlabel.center(width - 24) + f"{xright:>12.4g}")
+    legend = "   ".join(f"{markers[i % len(markers)]} {lab}"
+                        for i, lab in enumerate(series))
+    lines.append(" " * 13 + legend)
+    if ylabel:
+        lines.append(" " * 13 + f"(y: {ylabel})")
+    return "\n".join(lines)
+
+
+def bar_chart(values: dict[str, float], width: int = 50,
+              title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart."""
+    if not values:
+        return title
+    vmax = max(abs(v) for v in values.values()) or 1.0
+    wlabel = max(len(k) for k in values)
+    lines = [title] if title else []
+    for k, v in values.items():
+        n = int(round(abs(v) / vmax * width))
+        bar = "#" * n
+        lines.append(f"{k.rjust(wlabel)} | {bar} {v:.4g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Paper-style table printers used by every benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table", "format_si", "format_seconds"]
+
+
+def format_si(x: float, digits: int = 3) -> str:
+    """1234567 -> '1.23M' style SI formatting."""
+    for thresh, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(x) >= thresh:
+            return f"{x / thresh:.{digits}g}{suffix}"
+    return f"{x:.{digits}g}"
+
+
+def format_seconds(t: float) -> str:
+    """Adaptive time formatting (ns..h)."""
+    if t == 0:
+        return "0"
+    if t < 1e-6:
+        return f"{t * 1e9:.1f}ns"
+    if t < 1e-3:
+        return f"{t * 1e6:.1f}us"
+    if t < 1.0:
+        return f"{t * 1e3:.2f}ms"
+    if t < 600:
+        return f"{t:.2f}s"
+    return f"{t / 3600:.2f}h"
+
+
+def format_table(rows: Iterable[Sequence], headers: Sequence[str],
+                 title: str = "") -> str:
+    """Fixed-width ASCII table (right-aligned numerics)."""
+    srows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in srows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(c) -> str:
+    if isinstance(c, float):
+        if c != 0 and (abs(c) >= 1e5 or abs(c) < 1e-3):
+            return f"{c:.3e}"
+        return f"{c:.4g}"
+    return str(c)
+
+
+def print_table(rows: Iterable[Sequence], headers: Sequence[str],
+                title: str = "") -> None:
+    """Print an ASCII table (see :func:`format_table`)."""
+    print(format_table(rows, headers, title))

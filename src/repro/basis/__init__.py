@@ -1,0 +1,13 @@
+"""Gaussian basis sets: shells, built-in data, shell pairs."""
+
+from .shell import Shell, cartesian_components, ncart, primitive_norm
+from .data import BASIS_LIBRARY, available_basis_sets
+from .basisset import BasisSet, build_basis
+from .shellpair import ShellPair, build_shell_pairs
+
+__all__ = [
+    "Shell", "cartesian_components", "ncart", "primitive_norm",
+    "BASIS_LIBRARY", "available_basis_sets",
+    "BasisSet", "build_basis",
+    "ShellPair", "build_shell_pairs",
+]

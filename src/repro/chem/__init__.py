@@ -1,0 +1,15 @@
+"""Chemistry substrate: elements, molecules, periodic cells, builders."""
+
+from .elements import Element, element, atomic_number, mass_amu, covalent_radius_bohr
+from .molecule import Molecule, nuclear_repulsion
+from .pbc import Cell, minimum_image, wrap_positions
+from . import builders
+from .io import read_xyz, write_xyz, read_xyz_trajectory, write_xyz_trajectory
+
+__all__ = [
+    "Element", "element", "atomic_number", "mass_amu", "covalent_radius_bohr",
+    "Molecule", "nuclear_repulsion",
+    "Cell", "minimum_image", "wrap_positions",
+    "builders",
+    "read_xyz", "write_xyz", "read_xyz_trajectory", "write_xyz_trajectory",
+]

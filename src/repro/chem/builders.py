@@ -1,0 +1,355 @@
+"""Geometry builders for every system the reproduction exercises.
+
+Three families:
+
+* tiny validation molecules (H2, HeH+, LiH, water, water dimer) used by
+  the integral/SCF unit tests;
+* lithium/air battery species: propylene carbonate (PC), candidate
+  alternative solvents (DMSO, acetonitrile), lithium peroxide /
+  superoxide, and SCF-feasible *model fragments* of the solvents
+  (carbonate core, sulfoxide core) used for reaction energetics;
+* condensed-phase builders (water boxes, electrolyte boxes on a lattice)
+  used by the HFX workload generator and the classical-MD examples.
+
+All builder coordinates are specified in Angstrom (the conventional unit
+of the structural literature) and converted to Bohr by
+:meth:`Molecule.from_symbols`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .molecule import Molecule
+from .pbc import Cell
+from ..constants import BOHR_PER_ANGSTROM
+
+__all__ = [
+    "h2", "heh_plus", "lih", "o2", "water", "water_dimer", "water_cluster",
+    "water_box", "methane",
+    "propylene_carbonate", "dmso", "acetonitrile",
+    "li2o2", "lio2", "peroxide_dianion", "superoxide_anion", "li_atom",
+    "carbonate_model", "sulfoxide_model", "nitrile_model",
+    "electrolyte_box", "replicate_on_lattice",
+]
+
+
+# --------------------------------------------------------------------------
+# tiny validation molecules
+# --------------------------------------------------------------------------
+
+def h2(r: float = 0.7414) -> Molecule:
+    """Hydrogen molecule at bond length ``r`` Angstrom (default: exp.)."""
+    return Molecule.from_symbols(["H", "H"], [[0, 0, 0], [0, 0, r]], name="H2")
+
+
+def heh_plus(r: float = 0.772) -> Molecule:
+    """HeH+ cation — the classic 2-electron SCF test case."""
+    return Molecule.from_symbols(["He", "H"], [[0, 0, 0], [0, 0, r]],
+                                 charge=1, name="HeH+")
+
+
+def lih(r: float = 1.5957) -> Molecule:
+    """Lithium hydride at the experimental bond length."""
+    return Molecule.from_symbols(["Li", "H"], [[0, 0, 0], [0, 0, r]], name="LiH")
+
+
+def o2(r: float = 1.2075) -> Molecule:
+    """O2 (run as closed-shell singlet here; fine for integral tests)."""
+    return Molecule.from_symbols(["O", "O"], [[0, 0, 0], [0, 0, r]], name="O2")
+
+
+def methane() -> Molecule:
+    """CH4, tetrahedral, r(CH) = 1.087 Angstrom."""
+    r = 1.087
+    t = r / np.sqrt(3.0)
+    coords = [[0, 0, 0], [t, t, t], [t, -t, -t], [-t, t, -t], [-t, -t, t]]
+    return Molecule.from_symbols(["C", "H", "H", "H", "H"], coords, name="CH4")
+
+
+def water() -> Molecule:
+    """A single water molecule at the experimental gas-phase geometry."""
+    roh, theta = 0.9572, np.deg2rad(104.52)
+    x = roh * np.sin(theta / 2)
+    z = roh * np.cos(theta / 2)
+    return Molecule.from_symbols(
+        ["O", "H", "H"],
+        [[0.0, 0.0, 0.0], [x, 0.0, z], [-x, 0.0, z]],
+        name="H2O",
+    )
+
+
+def water_dimer(roo: float = 2.98) -> Molecule:
+    """Hydrogen-bonded water dimer with O...O distance ``roo`` Angstrom."""
+    donor = water()
+    acceptor = water().rotated(np.array([0.0, 1.0, 0.0]), np.pi)
+    acceptor = acceptor.translated(np.array([0.0, 0.0, roo]) * BOHR_PER_ANGSTROM)
+    dimer = donor + acceptor
+    dimer.name = "(H2O)2"
+    return dimer
+
+
+# --------------------------------------------------------------------------
+# lithium/air battery species
+# --------------------------------------------------------------------------
+
+def propylene_carbonate() -> Molecule:
+    """Propylene carbonate, C4H6O3 — the paper's reference electrolyte.
+
+    Approximate ring geometry (5-membered O-C(=O)-O-CH(CH3)-CH2 ring);
+    adequate for screening statistics, force-field MD, and workload
+    generation.  The quantum reaction energetics use
+    :func:`carbonate_model` instead.
+    """
+    coords = [
+        ("C", [0.000, 0.000, 0.000]),    # carbonyl carbon
+        ("O", [0.000, 1.190, 0.000]),    # carbonyl oxygen (C=O)
+        ("O", [1.100, -0.740, 0.000]),   # ring O (to CH2)
+        ("O", [-1.100, -0.740, 0.000]),  # ring O (to CH)
+        ("C", [0.740, -2.090, 0.120]),   # ring CH2
+        ("C", [-0.760, -2.090, -0.200]), # ring CH (bears methyl)
+        ("C", [-1.560, -3.050, 0.650]),  # methyl carbon
+        ("H", [1.010, -2.400, 1.130]),
+        ("H", [1.280, -2.700, -0.610]),
+        ("H", [-0.930, -2.320, -1.250]),
+        ("H", [-1.260, -4.070, 0.510]),
+        ("H", [-2.620, -2.990, 0.410]),
+        ("H", [-1.420, -2.790, 1.700]),
+    ]
+    return Molecule.from_symbols([s for s, _ in coords],
+                                 [c for _, c in coords],
+                                 name="PC")
+
+
+def dmso() -> Molecule:
+    """Dimethyl sulfoxide, (CH3)2SO — the canonical stabler alternative."""
+    coords = [
+        ("S", [0.000, 0.000, 0.320]),
+        ("O", [0.000, 1.480, 0.680]),
+        ("C", [1.370, -0.680, -0.620]),
+        ("C", [-1.370, -0.680, -0.620]),
+        ("H", [1.300, -0.370, -1.660]),
+        ("H", [2.300, -0.330, -0.180]),
+        ("H", [1.330, -1.770, -0.560]),
+        ("H", [-1.300, -0.370, -1.660]),
+        ("H", [-2.300, -0.330, -0.180]),
+        ("H", [-1.330, -1.770, -0.560]),
+    ]
+    return Molecule.from_symbols([s for s, _ in coords],
+                                 [c for _, c in coords],
+                                 name="DMSO")
+
+
+def acetonitrile() -> Molecule:
+    """Acetonitrile CH3CN — another aprotic candidate solvent."""
+    coords = [
+        ("C", [0.000, 0.000, 0.000]),   # methyl carbon
+        ("C", [0.000, 0.000, 1.460]),   # nitrile carbon
+        ("N", [0.000, 0.000, 2.617]),
+        ("H", [1.027, 0.000, -0.370]),
+        ("H", [-0.513, 0.889, -0.370]),
+        ("H", [-0.513, -0.889, -0.370]),
+    ]
+    return Molecule.from_symbols([s for s, _ in coords],
+                                 [c for _, c in coords],
+                                 name="ACN")
+
+
+def li2o2() -> Molecule:
+    """Molecular Li2O2 — planar rhombus (Li bridging a peroxide unit)."""
+    doo = 1.55
+    dli = 1.75
+    x = np.sqrt(max(dli ** 2 - (doo / 2) ** 2, 0.0))
+    coords = [
+        ("O", [0.0, 0.0, +doo / 2]),
+        ("O", [0.0, 0.0, -doo / 2]),
+        ("Li", [+x, 0.0, 0.0]),
+        ("Li", [-x, 0.0, 0.0]),
+    ]
+    return Molecule.from_symbols([s for s, _ in coords],
+                                 [c for _, c in coords],
+                                 name="Li2O2")
+
+
+def lio2() -> Molecule:
+    """Lithium superoxide LiO2 (side-on C2v, closed-shell cation model
+    is handled by callers; geometry only here)."""
+    doo = 1.34
+    dli = 1.77
+    x = np.sqrt(max(dli ** 2 - (doo / 2) ** 2, 0.0))
+    coords = [
+        ("O", [0.0, 0.0, +doo / 2]),
+        ("O", [0.0, 0.0, -doo / 2]),
+        ("Li", [x, 0.0, 0.0]),
+    ]
+    return Molecule.from_symbols([s for s, _ in coords],
+                                 [c for _, c in coords],
+                                 name="LiO2")
+
+
+def superoxide_anion(r: float = 1.33) -> Molecule:
+    """The superoxide anion O2^- — the primary discharge species of the
+    lithium/air cathode (doublet; needs the UHF driver)."""
+    return Molecule.from_symbols(["O", "O"], [[0, 0, 0], [0, 0, r]],
+                                 charge=-1, multiplicity=2, name="O2-")
+
+
+def peroxide_dianion(r: float = 1.49) -> Molecule:
+    """The peroxide dianion O2^2- — the nucleophile of the degradation
+    mechanism (closed-shell, 18 electrons; r(O-O) from solid Li2O2)."""
+    return Molecule.from_symbols(["O", "O"], [[0, 0, 0], [0, 0, r]],
+                                 charge=-2, name="O2--")
+
+
+def li_atom() -> Molecule:
+    """A bare lithium atom (doublet)."""
+    return Molecule.from_symbols(["Li"], [[0.0, 0.0, 0.0]],
+                                 multiplicity=2, name="Li")
+
+
+# --- SCF-feasible model fragments ------------------------------------------
+
+def carbonate_model() -> Molecule:
+    """Carbonic acid H2CO3 — the carbonate motif of PC.
+
+    Peroxide attack on PC proceeds at the carbonyl carbon of the cyclic
+    carbonate; H2CO3 carries the identical electrophilic center at a
+    size our STO-3G SCF handles in milliseconds, so reaction energetics
+    computed on it preserve the PC-vs-alternative-solvent ordering.
+    """
+    coords = [
+        ("C", [0.000, 0.000, 0.000]),
+        ("O", [0.000, 1.210, 0.000]),      # C=O
+        ("O", [1.160, -0.700, 0.000]),     # C-OH
+        ("O", [-1.160, -0.700, 0.000]),    # C-OH
+        ("H", [1.030, -1.660, 0.000]),
+        ("H", [-1.030, -1.660, 0.000]),
+    ]
+    return Molecule.from_symbols([s for s, _ in coords],
+                                 [c for _, c in coords],
+                                 name="carbonate-model")
+
+
+def sulfoxide_model() -> Molecule:
+    """H2SO — the sulfinyl motif of DMSO with H caps."""
+    coords = [
+        ("S", [0.000, 0.000, 0.000]),
+        ("O", [0.000, 1.480, 0.320]),
+        ("H", [1.230, -0.470, -0.540]),
+        ("H", [-1.230, -0.470, -0.540]),
+    ]
+    return Molecule.from_symbols([s for s, _ in coords],
+                                 [c for _, c in coords],
+                                 name="sulfoxide-model")
+
+
+def nitrile_model() -> Molecule:
+    """HCN — the nitrile motif of acetonitrile."""
+    coords = [
+        ("H", [0.0, 0.0, -1.064]),
+        ("C", [0.0, 0.0, 0.000]),
+        ("N", [0.0, 0.0, 1.156]),
+    ]
+    return Molecule.from_symbols([s for s, _ in coords],
+                                 [c for _, c in coords],
+                                 name="nitrile-model")
+
+
+# --------------------------------------------------------------------------
+# condensed-phase builders
+# --------------------------------------------------------------------------
+
+def replicate_on_lattice(unit: Molecule, nrep: tuple[int, int, int],
+                         spacing_bohr: float, seed: int = 0,
+                         jitter: float = 0.0) -> tuple[Molecule, Cell]:
+    """Tile ``unit`` on an ``nrep`` cubic lattice with randomized
+    orientations (deterministic via ``seed``).
+
+    Returns the composite molecule and the periodic cell.  ``jitter``
+    displaces each copy uniformly in ``[-jitter, jitter]`` Bohr per axis,
+    which breaks lattice artifacts in screening statistics.
+    """
+    rng = np.random.default_rng(seed)
+    unit = unit.translated(-unit.center_of_mass())
+    mols = []
+    for ix in range(nrep[0]):
+        for iy in range(nrep[1]):
+            for iz in range(nrep[2]):
+                axis = rng.normal(size=3)
+                angle = rng.uniform(0, 2 * np.pi)
+                m = unit.rotated(axis, angle)
+                shift = (np.array([ix, iy, iz], dtype=float) + 0.5) * spacing_bohr
+                if jitter > 0:
+                    shift = shift + rng.uniform(-jitter, jitter, size=3)
+                mols.append(m.translated(shift))
+    total = mols[0]
+    for m in mols[1:]:
+        total = total + m
+    total.name = f"{unit.name}x{nrep[0] * nrep[1] * nrep[2]}"
+    cell = Cell.cubic(spacing_bohr * max(nrep))
+    return total, cell
+
+
+def water_cluster(n: int, seed: int = 0) -> Molecule:
+    """An ``n``-molecule water cluster on a compact lattice (gas-phase,
+    no cell) — used for real-SCF screening studies."""
+    side = int(np.ceil(n ** (1.0 / 3.0)))
+    box, _ = replicate_on_lattice(water(), (side, side, side),
+                                  spacing_bohr=5.7, seed=seed)
+    keep = slice(0, 3 * n)
+    mol = Molecule(box.numbers[keep], box.coords[keep], name=f"(H2O){n}")
+    return mol
+
+
+def water_box(n: int, density_gcc: float = 0.997, seed: int = 0
+              ) -> tuple[Molecule, Cell]:
+    """A periodic box of ``n`` water molecules at liquid density.
+
+    Cell edge is derived from the target mass density; molecules sit on
+    a jittered lattice with random orientations — the configuration is
+    statistically liquid-like enough for screening/workload statistics.
+    """
+    mass_g = n * 18.01528 / 6.02214076e23
+    vol_cm3 = mass_g / density_gcc
+    edge_cm = vol_cm3 ** (1.0 / 3.0)
+    edge_bohr = edge_cm * 1e8 * BOHR_PER_ANGSTROM  # cm -> Angstrom -> Bohr
+    side = int(np.ceil(n ** (1.0 / 3.0)))
+    spacing = edge_bohr / side
+    box, _ = replicate_on_lattice(water(), (side, side, side),
+                                  spacing_bohr=spacing, seed=seed,
+                                  jitter=0.15 * spacing)
+    keep = slice(0, 3 * n)
+    mol = Molecule(box.numbers[keep], box.coords[keep], name=f"(H2O){n}-box")
+    return mol, Cell.cubic(edge_bohr)
+
+
+def electrolyte_box(solvent: str = "PC", n_solvent: int = 16,
+                    with_peroxide: bool = True, seed: int = 1
+                    ) -> tuple[Molecule, Cell]:
+    """A model lithium/air electrolyte: ``n_solvent`` solvent molecules
+    plus (optionally) one Li2O2 unit, on a jittered lattice.
+
+    ``solvent`` is one of ``"PC"``, ``"DMSO"``, ``"ACN"``.
+    """
+    units = {"PC": propylene_carbonate, "DMSO": dmso, "ACN": acetonitrile}
+    try:
+        unit = units[solvent]()
+    except KeyError:
+        raise ValueError(f"unknown solvent {solvent!r}; pick from {sorted(units)}") \
+            from None
+    side = int(np.ceil(n_solvent ** (1.0 / 3.0)))
+    spacing = 11.0  # Bohr; ~5.8 Angstrom between molecular centers
+    box, cell = replicate_on_lattice(unit, (side, side, side),
+                                     spacing_bohr=spacing, seed=seed,
+                                     jitter=0.8)
+    natom_unit = unit.natom
+    keep = slice(0, natom_unit * n_solvent)
+    mol = Molecule(box.numbers[keep], box.coords[keep],
+                   name=f"{solvent}x{n_solvent}")
+    if with_peroxide:
+        center = cell.lengths / 2.0
+        perox = li2o2()
+        perox = perox.translated(center - perox.center_of_mass())
+        mol = mol + perox
+        mol.name = f"{solvent}x{n_solvent}+Li2O2"
+    return mol, cell

@@ -1,0 +1,101 @@
+"""Periodic-table data for the elements this reproduction touches.
+
+The lithium/air electrolyte chemistry of the paper involves H, Li, C, N,
+O, S (propylene carbonate, DMSO/sulfone-class alternative solvents,
+Li2O2/LiO2).  We carry the first 18 elements plus a few metals so
+geometry builders and force fields never trip over missing data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Element",
+    "ELEMENTS",
+    "SYMBOLS",
+    "atomic_number",
+    "element",
+    "mass_amu",
+    "covalent_radius_bohr",
+]
+
+from ..constants import BOHR_PER_ANGSTROM
+
+
+@dataclass(frozen=True)
+class Element:
+    """Immutable record of per-element data.
+
+    Attributes
+    ----------
+    z : atomic number
+    symbol : IUPAC symbol
+    mass : standard atomic weight in amu
+    covalent_radius : covalent radius in Angstrom (Cordero 2008 values)
+    """
+
+    z: int
+    symbol: str
+    mass: float
+    covalent_radius: float
+
+
+_DATA = [
+    Element(1, "H", 1.00794, 0.31),
+    Element(2, "He", 4.002602, 0.28),
+    Element(3, "Li", 6.941, 1.28),
+    Element(4, "Be", 9.012182, 0.96),
+    Element(5, "B", 10.811, 0.84),
+    Element(6, "C", 12.0107, 0.76),
+    Element(7, "N", 14.0067, 0.71),
+    Element(8, "O", 15.9994, 0.66),
+    Element(9, "F", 18.9984032, 0.57),
+    Element(10, "Ne", 20.1797, 0.58),
+    Element(11, "Na", 22.98976928, 1.66),
+    Element(12, "Mg", 24.305, 1.41),
+    Element(13, "Al", 26.9815386, 1.21),
+    Element(14, "Si", 28.0855, 1.11),
+    Element(15, "P", 30.973762, 1.07),
+    Element(16, "S", 32.065, 1.05),
+    Element(17, "Cl", 35.453, 1.02),
+    Element(18, "Ar", 39.948, 1.06),
+    Element(19, "K", 39.0983, 2.03),
+    Element(20, "Ca", 40.078, 1.76),
+    Element(26, "Fe", 55.845, 1.32),
+    Element(29, "Cu", 63.546, 1.32),
+    Element(30, "Zn", 65.38, 1.22),
+]
+
+ELEMENTS: dict[int, Element] = {e.z: e for e in _DATA}
+SYMBOLS: dict[str, Element] = {e.symbol: e for e in _DATA}
+SYMBOLS.update({e.symbol.upper(): e for e in _DATA})
+SYMBOLS.update({e.symbol.lower(): e for e in _DATA})
+
+
+def element(key: int | str) -> Element:
+    """Look up an :class:`Element` by atomic number or symbol.
+
+    Raises ``KeyError`` with a helpful message for unknown elements.
+    """
+    table = ELEMENTS if isinstance(key, int) else SYMBOLS
+    try:
+        return table[key]
+    except KeyError:
+        raise KeyError(f"unknown element {key!r}; known: "
+                       f"{sorted(e.symbol for e in _DATA)}") from None
+
+
+def atomic_number(symbol: str) -> int:
+    """Atomic number for an element symbol (case-insensitive)."""
+    return element(symbol).z
+
+
+def mass_amu(key: int | str) -> float:
+    """Standard atomic weight (amu)."""
+    return element(key).mass
+
+
+def covalent_radius_bohr(key: int | str) -> float:
+    """Covalent radius in Bohr (converted from the tabulated Angstrom)."""
+    return element(key).covalent_radius * BOHR_PER_ANGSTROM

@@ -1,0 +1,43 @@
+"""File I/O for molecular geometries (XYZ format)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .molecule import Molecule
+
+__all__ = ["read_xyz", "write_xyz", "read_xyz_trajectory", "write_xyz_trajectory"]
+
+
+def read_xyz(path: str | Path, charge: int = 0, multiplicity: int = 1) -> Molecule:
+    """Read a single-frame XYZ file (coordinates in Angstrom)."""
+    return Molecule.from_xyz_string(Path(path).read_text(), charge, multiplicity)
+
+
+def write_xyz(path: str | Path, mol: Molecule, comment: str | None = None) -> None:
+    """Write a molecule to an XYZ file."""
+    Path(path).write_text(mol.to_xyz_string(comment))
+
+
+def read_xyz_trajectory(path: str | Path) -> list[Molecule]:
+    """Read a concatenated multi-frame XYZ trajectory."""
+    text = Path(path).read_text()
+    lines = text.splitlines()
+    frames: list[Molecule] = []
+    i = 0
+    while i < len(lines):
+        if not lines[i].strip():
+            i += 1
+            continue
+        natom = int(lines[i].split()[0])
+        block = "\n".join(lines[i:i + natom + 2])
+        frames.append(Molecule.from_xyz_string(block))
+        i += natom + 2
+    return frames
+
+
+def write_xyz_trajectory(path: str | Path, frames: list[Molecule]) -> None:
+    """Write a multi-frame XYZ trajectory."""
+    Path(path).write_text(
+        "".join(m.to_xyz_string(f"frame {i}") for i, m in enumerate(frames))
+    )

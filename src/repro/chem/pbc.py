@@ -1,0 +1,91 @@
+"""Periodic boundary conditions: cells, wrapping, minimum image.
+
+The condensed-phase workloads of the paper (liquid electrolyte boxes)
+live in orthorhombic cells.  We support general triclinic cells but the
+builders only emit orthorhombic ones, which keeps the minimum-image
+convention exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Cell", "minimum_image", "wrap_positions"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A periodic simulation cell.
+
+    Parameters
+    ----------
+    vectors:
+        Row-major cell vectors in Bohr, shape ``(3, 3)``; row *i* is the
+        i-th lattice vector.
+    """
+
+    vectors: np.ndarray
+
+    def __post_init__(self) -> None:
+        v = np.asarray(self.vectors, dtype=np.float64)
+        if v.shape != (3, 3):
+            raise ValueError(f"cell vectors must be (3,3); got {v.shape}")
+        if abs(np.linalg.det(v)) < 1e-12:
+            raise ValueError("cell vectors are singular (zero volume)")
+        object.__setattr__(self, "vectors", v)
+
+    @classmethod
+    def cubic(cls, a: float) -> "Cell":
+        """Cubic cell of edge ``a`` Bohr."""
+        return cls(np.eye(3) * a)
+
+    @classmethod
+    def orthorhombic(cls, a: float, b: float, c: float) -> "Cell":
+        """Orthorhombic cell with edges ``a, b, c`` Bohr."""
+        return cls(np.diag([a, b, c]))
+
+    @property
+    def volume(self) -> float:
+        """Cell volume in Bohr^3."""
+        return float(abs(np.linalg.det(self.vectors)))
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Lengths of the three lattice vectors."""
+        return np.linalg.norm(self.vectors, axis=1)
+
+    @property
+    def is_orthorhombic(self) -> bool:
+        """True when off-diagonal cell components vanish."""
+        off = self.vectors - np.diag(np.diag(self.vectors))
+        return bool(np.all(np.abs(off) < 1e-12))
+
+    def to_fractional(self, coords: np.ndarray) -> np.ndarray:
+        """Cartesian (Bohr) -> fractional coordinates."""
+        return np.asarray(coords) @ np.linalg.inv(self.vectors)
+
+    def to_cartesian(self, frac: np.ndarray) -> np.ndarray:
+        """Fractional -> Cartesian (Bohr) coordinates."""
+        return np.asarray(frac) @ self.vectors
+
+
+def wrap_positions(coords: np.ndarray, cell: Cell) -> np.ndarray:
+    """Wrap Cartesian positions into the home cell ``[0, 1)^3``."""
+    frac = cell.to_fractional(coords)
+    frac -= np.floor(frac)
+    return cell.to_cartesian(frac)
+
+
+def minimum_image(dvec: np.ndarray, cell: Cell) -> np.ndarray:
+    """Apply the minimum-image convention to displacement vectors.
+
+    Exact for orthorhombic cells (all the paper's boxes); for triclinic
+    cells this is the standard nearest-lattice-point approximation,
+    valid when displacements are shorter than half the shortest cell
+    height.
+    """
+    frac = cell.to_fractional(dvec)
+    frac -= np.round(frac)
+    return cell.to_cartesian(frac)

@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+info        package, machine, and workload overview
+scf         run an SCF (HF / LDA / PBE / PBE0 / UHF) on a built-in or
+            XYZ geometry
+workload    generate a condensed-phase HFX workload and print its stats
+scale       strong-scaling sweep of the scheme (and optionally the
+            legacy baseline) on BG/Q partitions
+liair       solvent-stability screening (peroxide attack profiles)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_info(args) -> int:
+    import repro
+    from repro.machine import bgq_racks
+
+    cfg = bgq_racks(96)
+    print(f"repro {repro.__version__} — reproduction of Weber et al., "
+          "IPDPS 2014")
+    print(f"full machine: {cfg.nodes} nodes / "
+          f"{cfg.total_threads} hardware threads / torus {cfg.torus_dims}")
+    print("subpackages: " + ", ".join(sorted(
+        n for n in repro.__all__ if n.islower() and n != "__version__")))
+    return 0
+
+
+def _load_molecule(args):
+    from repro.chem import builders, read_xyz
+
+    if args.xyz:
+        return read_xyz(args.xyz, charge=args.charge,
+                        multiplicity=args.multiplicity)
+    try:
+        builder = getattr(builders, args.molecule)
+    except AttributeError:
+        raise SystemExit(f"unknown built-in molecule {args.molecule!r}; "
+                         f"see repro.chem.builders") from None
+    mol = builder()
+    if args.charge:
+        mol.charge = args.charge
+    if args.multiplicity != 1:
+        mol.multiplicity = args.multiplicity
+    return mol
+
+
+def _cmd_scf(args) -> int:
+    mol = _load_molecule(args)
+    print(f"{mol.name or 'molecule'}: {mol.natom} atoms, "
+          f"{mol.nelectron} electrons, charge {mol.charge}, "
+          f"multiplicity {mol.multiplicity}")
+    if args.method == "uhf" or mol.multiplicity > 1:
+        from repro.scf import run_uhf
+
+        res = run_uhf(mol, basis=args.basis)
+        print(f"E(UHF/{args.basis}) = {res.energy:.8f} Ha  "
+              f"converged={res.converged} niter={res.niter}")
+        print(f"<S^2> = {res.s_squared():.4f}")
+    elif args.method == "hf":
+        from repro.scf import run_rhf
+
+        res = run_rhf(mol, basis=args.basis)
+        print(f"E(RHF/{args.basis}) = {res.energy:.8f} Ha  "
+              f"converged={res.converged} niter={res.niter}")
+        print(f"E_x(exact) = {res.exchange_energy:.6f} Ha   "
+              f"gap = {res.homo_lumo_gap():.4f} Ha")
+    else:
+        from repro.scf.dft import run_rks
+
+        res = run_rks(mol, basis=args.basis, functional=args.method)
+        print(f"E({args.method.upper()}/{args.basis}) = "
+              f"{res.energy:.8f} Ha  converged={res.converged} "
+              f"niter={res.niter}")
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.analysis.report import format_si
+    from repro.hfx import electrolyte_workload, water_box_workload
+
+    if args.system == "water":
+        wl = water_box_workload(args.size, eps=args.eps)
+    else:
+        wl = electrolyte_workload(args.system.upper(), args.size,
+                                  eps=args.eps)
+    s = wl.summary()
+    print(f"workload {s['label']}")
+    print(f"  pair tasks      {s['ntasks']}")
+    print(f"  quartets        {format_si(float(s['total_quartets']))}")
+    print(f"  work            {s['total_gflops']:.4g} GFlop (STO-3G "
+          "cost scale)")
+    print(f"  heaviest task   {s['max_task_flops'] / 1e6:.3g} MFlop")
+    return 0
+
+
+def _cmd_scale(args) -> int:
+    from repro.analysis.report import format_seconds, format_si, print_table
+    from repro.hfx import (HFXScheme, ReplicatedDynamicBaseline,
+                           legacy_ranks_per_node, water_box_workload)
+    from repro.machine import bgq_racks, parallel_efficiency
+
+    wl = water_box_workload(args.size, eps=args.eps)
+    racks = [float(r) for r in args.racks.split(",")]
+    cfg_max = bgq_racks(max(racks))
+    wls = wl.split(wl.total_flops / (cfg_max.nranks * 16))
+    timings = {}
+    rows = []
+    base_rows = {}
+    for r in racks:
+        cfg = bgq_racks(r)
+        bt = HFXScheme(wls, cfg, flop_scale=args.flop_scale).simulate()
+        timings[cfg.total_threads] = bt
+        if args.baseline:
+            rpn = legacy_ranks_per_node(int(wl.nbf * 58 / 7))
+            cfgb = bgq_racks(r, ranks_per_node=rpn)
+            base = ReplicatedDynamicBaseline(
+                wl, cfgb, flop_scale=args.flop_scale,
+                cores=min(4, cfgb.cores_per_rank))
+            base_rows[cfg.total_threads] = base.simulate().makespan
+    eff = parallel_efficiency(timings)
+    for thr in sorted(timings):
+        row = [format_si(thr), format_seconds(timings[thr].makespan),
+               f"{eff[thr]:.3f}"]
+        if args.baseline:
+            row.append(format_seconds(base_rows[thr]))
+        rows.append(row)
+    headers = ["threads", "t(build)", "efficiency"]
+    if args.baseline:
+        headers.append("t(legacy)")
+    print_table(rows, headers=headers,
+                title=f"strong scaling, (H2O){args.size}, eps={args.eps:g}")
+    return 0
+
+
+def _cmd_liair(args) -> int:
+    from repro.analysis.report import print_table
+    from repro.liair import screen_solvents
+
+    methods = tuple(args.methods.split(","))
+    distances = np.linspace(4.0, 2.0, args.points)
+    result = screen_solvents(solvents=tuple(args.solvents.split(",")),
+                             methods=methods, distances=distances)
+    rows = [[r["solvent"], r["method"], r["well_kcal"],
+             r["attack_kcal"], "ATTACKED" if r["degrades"] else "stable"]
+            for r in result.table()]
+    print_table(rows, headers=["solvent", "method", "well(kcal)",
+                               "contact dE", "verdict"],
+                title="peroxide attack screening")
+    m = methods[-1]
+    print("\nranking (most stable first): "
+          + " > ".join(sv for sv, _ in result.ranking(m)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Shedding Light on Lithium/Air "
+                    "Batteries Using Millions of Threads' (IPDPS 2014)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and machine overview") \
+        .set_defaults(func=_cmd_info)
+
+    ps = sub.add_parser("scf", help="run an SCF calculation")
+    ps.add_argument("molecule", nargs="?", default="water",
+                    help="built-in builder name (default: water)")
+    ps.add_argument("--xyz", help="XYZ file instead of a built-in")
+    ps.add_argument("--method", default="hf",
+                    choices=["hf", "uhf", "lda", "pbe", "pbe0"])
+    ps.add_argument("--basis", default="sto-3g")
+    ps.add_argument("--charge", type=int, default=0)
+    ps.add_argument("--multiplicity", type=int, default=1)
+    ps.set_defaults(func=_cmd_scf)
+
+    pw = sub.add_parser("workload", help="generate an HFX workload")
+    pw.add_argument("system", nargs="?", default="water",
+                    choices=["water", "pc", "dmso", "acn"])
+    pw.add_argument("--size", type=int, default=64,
+                    help="molecule count (default 64)")
+    pw.add_argument("--eps", type=float, default=1e-8)
+    pw.set_defaults(func=_cmd_workload)
+
+    pc = sub.add_parser("scale", help="strong-scaling sweep")
+    pc.add_argument("--size", type=int, default=128)
+    pc.add_argument("--eps", type=float, default=1e-8)
+    pc.add_argument("--racks", default="1,4,16,48,96")
+    pc.add_argument("--flop-scale", type=float, default=50.0)
+    pc.add_argument("--baseline", action="store_true",
+                    help="include the legacy replicated baseline")
+    pc.set_defaults(func=_cmd_scale)
+
+    pl = sub.add_parser("liair", help="solvent-stability screening")
+    pl.add_argument("--solvents", default="PC,DMSO,ACN")
+    pl.add_argument("--methods", default="hf")
+    pl.add_argument("--points", type=int, default=5)
+    pl.set_defaults(func=_cmd_liair)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Physical constants and unit conversions.
+
+All internal quantities in this package are in Hartree atomic units
+unless a function's docstring says otherwise:
+
+* length   — Bohr radii (a0)
+* energy   — Hartree (Ha)
+* mass     — electron masses (m_e)
+* time     — atomic time units (hbar / Ha)
+* charge   — elementary charges (e)
+
+The conversion factors here follow CODATA 2018 to the precision a
+reproduction needs (the paper's results are never sensitive to the
+tenth digit of a0).
+"""
+
+from __future__ import annotations
+
+# --- length ---------------------------------------------------------------
+BOHR_PER_ANGSTROM: float = 1.0 / 0.529177210903
+ANGSTROM_PER_BOHR: float = 0.529177210903
+
+# --- energy ---------------------------------------------------------------
+EV_PER_HARTREE: float = 27.211386245988
+KCALMOL_PER_HARTREE: float = 627.5094740631
+KJMOL_PER_HARTREE: float = 2625.4996394799
+KELVIN_PER_HARTREE: float = 315775.02480407  # Ha / k_B
+
+# --- time -----------------------------------------------------------------
+FEMTOSECOND_PER_AUT: float = 0.024188843265857  # 1 a.u. of time in fs
+AUT_PER_FEMTOSECOND: float = 1.0 / FEMTOSECOND_PER_AUT
+
+# --- mass -----------------------------------------------------------------
+EMASS_PER_AMU: float = 1822.888486209  # electron masses per unified amu
+
+# --- misc -----------------------------------------------------------------
+BOLTZMANN_HARTREE_PER_K: float = 1.0 / KELVIN_PER_HARTREE
+
+
+def angstrom_to_bohr(x: float) -> float:
+    """Convert a length from Angstrom to Bohr."""
+    return x * BOHR_PER_ANGSTROM
+
+
+def bohr_to_angstrom(x: float) -> float:
+    """Convert a length from Bohr to Angstrom."""
+    return x * ANGSTROM_PER_BOHR
+
+
+def hartree_to_ev(e: float) -> float:
+    """Convert an energy from Hartree to electron-volt."""
+    return e * EV_PER_HARTREE
+
+
+def hartree_to_kcalmol(e: float) -> float:
+    """Convert an energy from Hartree to kcal/mol."""
+    return e * KCALMOL_PER_HARTREE
+
+
+def fs_to_aut(t: float) -> float:
+    """Convert a time from femtoseconds to atomic time units."""
+    return t * AUT_PER_FEMTOSECOND
+
+
+def aut_to_fs(t: float) -> float:
+    """Convert a time from atomic time units to femtoseconds."""
+    return t * FEMTOSECOND_PER_AUT

@@ -1,0 +1,123 @@
+"""Incremental exchange builds (density-difference screening).
+
+The paper's scheme is "specifically tailored for ab initio MD": across
+SCF iterations (and across MD steps, where the converged density of the
+previous step seeds the next), the density changes by ever smaller
+increments.  Building K from the *difference* density lets the
+Cauchy-Schwarz screen absorb |dD| and skip most quartets late in the
+convergence — the same integrals budget then buys tighter thresholds.
+
+:class:`IncrementalExchange` is the real implementation (exact on small
+systems, verified against direct builds); :func:`incremental_survival`
+is the vectorized model used for synthetic condensed-phase statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..basis.basisset import BasisSet
+from ..integrals.eri import ERIEngine
+from ..scf.fock import scatter_exchange
+
+__all__ = ["IncrementalExchange", "incremental_survival"]
+
+
+class IncrementalExchange:
+    """Exchange builder that screens against the density *increment*.
+
+    Usage: call :meth:`update` with the full current density each SCF
+    iteration; it internally differences against the last build, adds
+    the screened delta-K, and returns the running K.
+
+    ``rebuild_every`` forces a full (non-incremental) build periodically
+    to stop screened-away contributions from accumulating — standard
+    practice in production incremental-Fock codes.
+    """
+
+    def __init__(self, basis: BasisSet, eps: float = 1e-10,
+                 rebuild_every: int = 8):
+        self.basis = basis
+        self.eps = eps
+        self.rebuild_every = rebuild_every
+        self.engine = ERIEngine(basis)
+        self.Q = self.engine.schwarz_bounds()
+        self._keys = sorted(self.Q)
+        self.K = np.zeros((basis.nbf, basis.nbf))
+        self.D_ref = np.zeros((basis.nbf, basis.nbf))
+        self.builds = 0
+        self.last_quartets = 0
+        self.total_quartets_incremental = 0
+        self.total_quartets_full = 0
+
+    def _block_max(self, M: np.ndarray) -> np.ndarray:
+        """max|M| per shell block, shape (nshell, nshell)."""
+        n = self.basis.nshell
+        out = np.empty((n, n))
+        for i in range(n):
+            si = self.basis.shell_slice(i)
+            for j in range(n):
+                sj = self.basis.shell_slice(j)
+                out[i, j] = np.abs(M[si, sj]).max()
+        return out
+
+    def update(self, D: np.ndarray) -> np.ndarray:
+        """Advance to density ``D``; returns the current K estimate."""
+        full = (self.builds % self.rebuild_every == 0)
+        dD = D - self.D_ref if not full else D.copy()
+        if full:
+            self.K[:] = 0.0
+        dmax = self._block_max(dD)
+        computed = 0
+        skipped = 0
+        keys = self._keys
+        Kdelta = np.zeros_like(self.K)
+        for a, (i, j) in enumerate(keys):
+            qa = self.Q[(i, j)]
+            for (k, l) in keys[a:]:
+                qb = self.Q[(k, l)]
+                bound = qa * qb
+                # exchange touches density blocks (j,l),(j,k),(i,l),(i,k)
+                dloc = max(dmax[j, l], dmax[j, k], dmax[i, l], dmax[i, k])
+                if bound * dloc < self.eps:
+                    skipped += 1
+                    continue
+                block = self.engine.quartet(i, j, k, l)
+                scatter_exchange(self.basis, Kdelta, block, dD, (i, j, k, l))
+                computed += 1
+        self.K += Kdelta
+        self.D_ref = D.copy()
+        self.builds += 1
+        self.last_quartets = computed
+        self.total_quartets_incremental += computed
+        self.total_quartets_full += computed + skipped
+        return self.K.copy()
+
+    @property
+    def savings(self) -> float:
+        """Fraction of quartets skipped so far across all builds."""
+        tot = self.total_quartets_full
+        if tot == 0:
+            return 0.0
+        return 1.0 - self.total_quartets_incremental / tot
+
+
+def incremental_survival(q: np.ndarray, eps: float,
+                         delta: float) -> tuple[int, int]:
+    """Model: quartets surviving ``Q_ij Q_kl * delta >= eps`` out of the
+    unique pairs of the Schwarz list ``q`` (vectorized, used for
+    condensed-phase statistics where quartets are never materialized).
+
+    Returns ``(surviving, total)`` unique quartet counts.
+    """
+    q = np.sort(np.asarray(q, dtype=np.float64))[::-1]
+    n = len(q)
+    total = n * (n + 1) // 2
+    if n == 0 or delta <= 0.0:
+        return 0, total
+    eff = eps / delta
+    asc = q[::-1]
+    cnt_ge = n - np.searchsorted(asc, eff / np.maximum(q, 1e-300),
+                                 side="left")
+    nb = np.maximum(cnt_ge - np.arange(n), 0)
+    return int(nb.sum()), total

@@ -1,0 +1,28 @@
+"""Molecular integrals: Boys function, McMurchie-Davidson one- and
+two-electron integrals, Cauchy-Schwarz screening."""
+
+from .boys import boys, boys_single
+from .mcmurchie import hermite_e, hermite_r, gaussian_product
+from .overlap import overlap_matrix, overlap_block
+from .kinetic import kinetic_matrix, kinetic_block
+from .nuclear import nuclear_matrix, nuclear_block
+from .eri import eri_quartet, eri_tensor, ERIEngine
+from .schwarz import (schwarz_bounds, schwarz_matrix, pair_extent_estimate,
+                      count_surviving_quartets)
+from .moments import dipole_block, dipole_matrices, dipole_moment
+from .gradients import (overlap_gradient, kinetic_gradient,
+                        nuclear_gradient, eri_gradient_quartet)
+
+__all__ = [
+    "boys", "boys_single",
+    "hermite_e", "hermite_r", "gaussian_product",
+    "overlap_matrix", "overlap_block",
+    "kinetic_matrix", "kinetic_block",
+    "nuclear_matrix", "nuclear_block",
+    "eri_quartet", "eri_tensor", "ERIEngine",
+    "schwarz_bounds", "schwarz_matrix", "pair_extent_estimate",
+    "count_surviving_quartets",
+    "dipole_block", "dipole_matrices", "dipole_moment",
+    "overlap_gradient", "kinetic_gradient", "nuclear_gradient",
+    "eri_gradient_quartet",
+]

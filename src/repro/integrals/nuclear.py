@@ -1,0 +1,59 @@
+"""Nuclear-attraction integrals (point charges) via Hermite Coulomb
+integrals."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..basis.basisset import BasisSet
+from ..basis.shellpair import ShellPair
+from ..chem.molecule import Molecule
+from .mcmurchie import hermite_r
+
+__all__ = ["nuclear_block", "nuclear_matrix"]
+
+
+def nuclear_block(pair: ShellPair, charges: np.ndarray,
+                  centers: np.ndarray) -> np.ndarray:
+    """Nuclear-attraction sub-block for one shell pair.
+
+    Parameters
+    ----------
+    charges:
+        Point-charge magnitudes ``Z_C``, shape ``(nc,)`` (the integral
+        carries the electron-nucleus minus sign).
+    centers:
+        Point-charge positions in Bohr, shape ``(nc, 3)``.
+    """
+    idx, lam = pair.hermite_lambda()   # (nherm,3), (cA,cB,nherm,nprim)
+    L = pair.lab
+    pref = 2.0 * np.pi / pair.p        # (nprim,)
+    out = np.zeros(lam.shape[:2])
+    for zc, C in zip(charges, centers):
+        PC = pair.P - C[None, :]
+        R = hermite_r(L, L, L, pair.p, PC)    # (L+1,L+1,L+1,nprim)
+        Rh = R[idx[:, 0], idx[:, 1], idx[:, 2]]  # (nherm, nprim)
+        out -= zc * np.einsum("xyhn,hn,n->xy", lam, Rh, pref)
+    return out
+
+
+def nuclear_matrix(basis: BasisSet, mol: Molecule | None = None,
+                   pairs: dict[tuple[int, int], ShellPair] | None = None
+                   ) -> np.ndarray:
+    """Full AO nuclear-attraction matrix, shape ``(nbf, nbf)``."""
+    if mol is None:
+        mol = basis.molecule
+    if pairs is None:
+        from ..basis.shellpair import build_shell_pairs
+
+        pairs = build_shell_pairs(basis.shells)
+    charges = mol.numbers.astype(np.float64)
+    centers = mol.coords
+    V = np.zeros((basis.nbf, basis.nbf))
+    for (i, j), pair in pairs.items():
+        blk = nuclear_block(pair, charges, centers)
+        si, sj = basis.shell_slice(i), basis.shell_slice(j)
+        V[si, sj] = blk
+        if i != j:
+            V[sj, si] = blk.T
+    return V

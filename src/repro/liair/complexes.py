@@ -1,0 +1,80 @@
+"""Attack-complex construction: peroxide approaching a solvent fragment.
+
+The degradation mechanism established for propylene carbonate is
+nucleophilic attack of the (super)peroxide species formed at the cathode
+on the electrophilic center of the solvent.  We build rigid approach
+complexes with the **peroxide dianion O2^2-** (the closed-shell
+nucleophile; the lithium counter-ions act as spectators at the attack
+geometry): one oxygen points at the solvent's attack atom, at a
+controllable distance along the attack vector.
+
+Because the nucleophile carries charge, absolute interaction energies
+are dominated by long-range Coulomb terms identical for all solvents;
+the chemistry lives in the *approach energetics* relative to a far
+reference point, which is what :mod:`repro.liair.degradation` reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chem import builders
+from ..chem.molecule import Molecule
+from ..constants import BOHR_PER_ANGSTROM
+from .solvents import Solvent
+
+__all__ = ["attack_complex", "approach_scan_geometries", "NUCLEOPHILES"]
+
+NUCLEOPHILES = {
+    "peroxide": builders.peroxide_dianion,
+    "li2o2": builders.li2o2,
+}
+
+
+def _orient_nucleophile(nuc: Molecule, direction: np.ndarray) -> Molecule:
+    """Rotate so the O-O axis aligns with ``direction``; translate so
+    the *leading* oxygen sits at the origin."""
+    z = np.array([0.0, 0.0, 1.0])
+    d = direction / np.linalg.norm(direction)
+    axis = np.cross(z, d)
+    norm = np.linalg.norm(axis)
+    if norm > 1e-12:
+        angle = float(np.arccos(np.clip(z @ d, -1.0, 1.0)))
+        nuc = nuc.rotated(axis, angle)
+    elif z @ d < 0:
+        nuc = nuc.rotated(np.array([1.0, 0.0, 0.0]), np.pi)
+    proj = nuc.coords @ (-d)
+    oxygens = [i for i, zn in enumerate(nuc.numbers) if zn == 8]
+    lead = max(oxygens, key=lambda i: proj[i])
+    return nuc.translated(-nuc.coords[lead])
+
+
+def attack_complex(solvent: Solvent, distance_angstrom: float,
+                   nucleophile: str = "peroxide") -> Molecule:
+    """Solvent model fragment + nucleophile with the leading oxygen
+    ``distance_angstrom`` from the attack atom, along the attack vector."""
+    try:
+        nuc = NUCLEOPHILES[nucleophile]()
+    except KeyError:
+        raise ValueError(f"unknown nucleophile {nucleophile!r}; "
+                         f"available: {sorted(NUCLEOPHILES)}") from None
+    frag = solvent.build_model()
+    d = solvent.attack_vector()
+    site = frag.coords[solvent.attack_atom]
+    # axis along the approach line; the leading O (maximum projection
+    # onto -d, i.e. closest to the fragment) goes to the origin
+    oriented = _orient_nucleophile(nuc, d)
+    offset = site + d * distance_angstrom * BOHR_PER_ANGSTROM
+    oriented = oriented.translated(offset)
+    cplx = frag + oriented
+    cplx.name = f"{frag.name}+{nuc.name}@{distance_angstrom:.2f}A"
+    return cplx
+
+
+def approach_scan_geometries(solvent: Solvent, distances_angstrom=None,
+                             nucleophile: str = "peroxide") -> list[Molecule]:
+    """Rigid approach scan (decreasing distance)."""
+    if distances_angstrom is None:
+        distances_angstrom = np.linspace(4.0, 1.8, 6)
+    return [attack_complex(solvent, float(d), nucleophile)
+            for d in distances_angstrom]

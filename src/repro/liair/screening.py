@@ -1,0 +1,70 @@
+"""Solvent stability screening — the paper's chemistry deliverable.
+
+Ranks candidate electrolyte solvents by their resistance to peroxide
+attack, optionally comparing functionals (the paper's point: PBE0's
+exact-exchange quarter changes the energetics enough to matter for
+go/no-go solvent decisions, which is why the fast HFX scheme was worth
+building).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .degradation import AttackProfile, attack_profile
+from .solvents import SOLVENTS
+
+__all__ = ["ScreeningResult", "screen_solvents"]
+
+
+@dataclass
+class ScreeningResult:
+    """Outcome of a multi-solvent, multi-method screening."""
+
+    profiles: dict[tuple[str, str], AttackProfile] = field(default_factory=dict)
+
+    def ranking(self, method: str) -> list[tuple[str, float]]:
+        """Solvents most-stable-first under ``method`` (by stability
+        score)."""
+        rows = [(sv, prof.stability_score())
+                for (sv, m), prof in self.profiles.items() if m == method]
+        return sorted(rows, key=lambda r: -r[1])
+
+    def table(self) -> list[dict]:
+        """Flat rows for report printing."""
+        out = []
+        for (sv, m), p in sorted(self.profiles.items()):
+            out.append({
+                "solvent": sv, "method": m,
+                "attack_kcal": round(p.attack_energy_kcal, 2),
+                "well_kcal": round(p.well_depth_kcal, 2),
+                "well_A": round(p.well_distance, 2),
+                "wall_kcal": round(p.wall_kcal, 2),
+                "degrades": p.is_degrading(),
+                "score": round(p.stability_score(), 2),
+            })
+        return out
+
+    def functional_shift(self, solvent: str, m1: str = "pbe",
+                         m2: str = "pbe0") -> float:
+        """Attack-energy change (kcal/mol) going m1 -> m2 for a solvent —
+        the 'hybrid functionals matter' observable."""
+        p1 = self.profiles[(solvent, m1)]
+        p2 = self.profiles[(solvent, m2)]
+        return p2.attack_energy_kcal - p1.attack_energy_kcal
+
+
+def screen_solvents(solvents=None, methods=("hf",), basis: str = "sto-3g",
+                    distances=None, **scf_kw) -> ScreeningResult:
+    """Run attack profiles for every (solvent, method) combination."""
+    if solvents is None:
+        solvents = sorted(SOLVENTS)
+    result = ScreeningResult()
+    for sv in solvents:
+        for m in methods:
+            result.profiles[(sv, m)] = attack_profile(
+                sv, method=m, basis=basis,
+                distances_angstrom=distances, **scf_kw)
+    return result

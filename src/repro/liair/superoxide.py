@@ -1,0 +1,115 @@
+"""Superoxide (O2^-) attack chemistry — the open-shell pathway.
+
+The primary reduced-oxygen species at the lithium/air cathode is the
+superoxide radical anion; its nucleophilic/radical attack on the
+solvent is the first degradation step (peroxide chemistry follows).
+These profiles run spin-unrestricted (UHF) on the doublet complexes,
+complementing the closed-shell peroxide profiles of
+:mod:`repro.liair.degradation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..chem import builders
+from ..chem.molecule import Molecule
+from ..constants import BOHR_PER_ANGSTROM, KCALMOL_PER_HARTREE
+from ..scf.uhf import UHF
+from .solvents import Solvent, get_solvent
+
+__all__ = ["SuperoxideProfile", "superoxide_profile",
+           "superoxide_attack_energy"]
+
+
+def _complex(sv: Solvent, distance_angstrom: float) -> Molecule:
+    """Solvent model fragment + O2^- along the attack vector (the
+    leading oxygen at the requested distance)."""
+    frag = sv.build_model()
+    d = sv.attack_vector()
+    site = frag.coords[sv.attack_atom]
+    nuc = builders.superoxide_anion()
+    # O-O along z in the builder; align with d, leading O to origin
+    z = np.array([0.0, 0.0, 1.0])
+    axis = np.cross(z, d)
+    if np.linalg.norm(axis) > 1e-12:
+        angle = float(np.arccos(np.clip(z @ d, -1.0, 1.0)))
+        nuc = nuc.rotated(axis, angle)
+    proj = nuc.coords @ (-d)
+    lead = int(np.argmax(proj))
+    nuc = nuc.translated(site + d * distance_angstrom * BOHR_PER_ANGSTROM
+                         - nuc.coords[lead])
+    cplx = frag + nuc
+    cplx.multiplicity = 2      # radical complex
+    cplx.name = f"{frag.name}+O2-@{distance_angstrom:.2f}A"
+    return cplx
+
+
+def _uhf_energy(mol: Molecule, D0=None, **kw) -> tuple[float, tuple]:
+    kw.setdefault("max_iter", 300)
+    solver = UHF(mol, **kw)
+    res = solver.run(D0=D0)
+    if not res.converged:
+        res = UHF(mol, level_shift=0.4, **kw).run(D0=D0)
+    if not res.converged:
+        raise RuntimeError(f"UHF not converged for {mol.name}")
+    return res.energy, (res.D_a, res.D_b)
+
+
+@dataclass
+class SuperoxideProfile:
+    """Approach-energy profile of superoxide attack (far-referenced)."""
+
+    solvent: str
+    distances: np.ndarray
+    energies: np.ndarray   # Hartree, relative to the far point
+
+    @property
+    def well_depth_kcal(self) -> float:
+        """Most attractive point along the approach (kcal/mol)."""
+        return float(self.energies.min()) * KCALMOL_PER_HARTREE
+
+    @property
+    def attack_energy_kcal(self) -> float:
+        """Far -> contact energy change (kcal/mol)."""
+        return float(self.energies[-1]) * KCALMOL_PER_HARTREE
+
+
+def superoxide_profile(solvent: str | Solvent,
+                       distances_angstrom=None) -> SuperoxideProfile:
+    """UHF approach profile of O2^- on a solvent model fragment."""
+    sv = get_solvent(solvent) if isinstance(solvent, str) else solvent
+    if distances_angstrom is None:
+        distances_angstrom = np.linspace(4.0, 2.0, 5)
+    distances = np.sort(np.asarray(distances_angstrom, float))[::-1]
+    # fragment-block guess from separately converged species
+    frag_res = UHF(sv.build_model(), max_iter=300).run()
+    nuc_res = UHF(builders.superoxide_anion(), max_iter=300).run()
+    nf = frag_res.basis.nbf
+    energies = []
+    for d in distances:
+        cplx = _complex(sv, float(d))
+        from ..basis import build_basis
+
+        nbf = build_basis(cplx).nbf
+        Da = np.zeros((nbf, nbf))
+        Db = np.zeros((nbf, nbf))
+        Da[:nf, :nf] = 0.5 * frag_res.D_total
+        Db[:nf, :nf] = 0.5 * frag_res.D_total
+        Da[nf:, nf:] = nuc_res.D_a
+        Db[nf:, nf:] = nuc_res.D_b
+        e, _ = _uhf_energy(cplx, D0=(Da, Db))
+        energies.append(e)
+    energies = np.asarray(energies)
+    return SuperoxideProfile(sv.name, distances, energies - energies[0])
+
+
+def superoxide_attack_energy(solvent: str | Solvent,
+                             far: float = 4.0,
+                             contact: float = 2.2) -> float:
+    """Two-point superoxide attack energy (kcal/mol; negative =
+    attacked)."""
+    p = superoxide_profile(solvent, [far, contact])
+    return p.attack_energy_kcal

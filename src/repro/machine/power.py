@@ -1,0 +1,55 @@
+"""BG/Q power/energy model.
+
+Blue Gene/Q's claim to fame was performance *per watt* (#1 on Green500
+at launch): ~80 kW per rack under load.  Energy-to-solution is the
+natural companion metric to the paper's time-to-solution comparison —
+a code that wastes 60 of 64 hardware threads pays for them anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bgq import BGQConfig
+from .simulator import BuildTiming
+
+__all__ = ["PowerModel", "energy_to_solution"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-node power draw (Watts).
+
+    idle:
+        Baseline draw of a powered node (network, memory refresh).
+    busy:
+        Additional draw at full compute load; actual draw interpolates
+        with the node's utilization.
+    """
+
+    idle: float = 35.0
+    busy: float = 50.0
+
+    def node_power(self, utilization: float) -> float:
+        """Draw of one node at a given compute utilization (0..1)."""
+        u = min(max(utilization, 0.0), 1.0)
+        return self.idle + self.busy * u
+
+    def rack_power(self, utilization: float = 1.0) -> float:
+        """Draw of a 1,024-node rack (~87 kW at full load)."""
+        return 1024 * self.node_power(utilization)
+
+
+def energy_to_solution(bt: BuildTiming, cfg: BGQConfig,
+                       model: PowerModel | None = None) -> float:
+    """Energy (Joules) of one build: every node is powered for the whole
+    makespan; compute draw scales with each rank's busy fraction."""
+    if model is None:
+        model = PowerModel()
+    if bt.makespan <= 0.0:
+        return 0.0
+    # mean utilization across ranks over the makespan
+    util = float(bt.rank_compute.mean()) / bt.makespan if \
+        bt.rank_compute.size else 0.0
+    per_node = model.node_power(min(util, 1.0))
+    return per_node * cfg.nodes * bt.makespan

@@ -1,0 +1,195 @@
+"""Execution simulator: price a parallel HFX build on a BG/Q partition.
+
+Two execution styles are simulated, matching the two contenders of the
+paper's evaluation:
+
+* :func:`simulate_static_build` — the paper's scheme: statically
+  load-balanced pair tasks per rank, threads self-schedule quartet
+  chunks inside the rank, two cheap collectives per build.
+* :func:`simulate_dynamic_build` — the "directly comparable approach":
+  replicated data with a master-worker dynamic task queue; every chunk
+  acquisition is a round-trip to rank 0, and the collectives move whole
+  replicated matrices.
+
+Both return a :class:`BuildTiming` with a breakdown the benchmarks
+print.  The model is analytic per rank (in-rank threading over quartets
+is near-perfectly divisible, as in the paper) and exact across ranks
+(the inter-rank imbalance of the pair-task partition is fully resolved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .bgq import BGQConfig
+from .collectives import CollectiveModel, point_to_point_time
+from .node import NodeComputeModel
+from .torus import Torus
+
+__all__ = ["BuildTiming", "CommPlan", "simulate_static_build",
+           "simulate_dynamic_build", "parallel_efficiency"]
+
+
+@dataclass(frozen=True)
+class CommPlan:
+    """Bytes moved by the collectives of one HFX build.
+
+    allgather_bytes_per_rank:
+        Per-rank contribution to the pre-build allgather (orbital
+        coefficient slabs in the paper's scheme).
+    allreduce_bytes:
+        Payload of the post-build reduction (exchange matrix /
+        per-orbital exchange energies).
+    bcast_bytes:
+        Pre-build broadcast payload (replicated-data baseline: the full
+        density matrix).
+    """
+
+    allgather_bytes_per_rank: int = 0
+    allreduce_bytes: int = 0
+    bcast_bytes: int = 0
+
+
+@dataclass
+class BuildTiming:
+    """Result of simulating one HFX build."""
+
+    makespan: float
+    compute_time: float          # slowest rank's compute (incl. thread tail)
+    comm_time: float             # collectives + dispatch traffic
+    rank_compute: np.ndarray     # per-rank compute seconds
+    total_flops: float
+    nranks: int
+    nthreads: int
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def imbalance(self) -> float:
+        """(max - mean) / mean of per-rank compute time."""
+        mean = float(self.rank_compute.mean()) if self.rank_compute.size else 0.0
+        if mean <= 0.0:
+            return 0.0
+        return float((self.rank_compute.max() - mean) / mean)
+
+    @property
+    def compute_fraction(self) -> float:
+        """Fraction of the makespan spent computing on the critical rank."""
+        return self.compute_time / self.makespan if self.makespan > 0 else 1.0
+
+
+def _rank_compute_times(rank_flops: np.ndarray,
+                        rank_ntasks: np.ndarray,
+                        node: NodeComputeModel) -> np.ndarray:
+    """Per-rank compute time: divisible quartet work at the thread level
+    plus chunk-dispatch overhead and the last-chunk tail (vectorized
+    across ranks)."""
+    rate = node.thread_rate()
+    T = node.nthreads
+    from ..runtime.threads import ThreadTeam
+
+    dispatch = ThreadTeam(T).dispatch_overhead
+    flops = np.asarray(rank_flops, dtype=np.float64)
+    ntasks = np.maximum(np.asarray(rank_ntasks, dtype=np.float64), 0.0)
+    nchunks = np.ceil(ntasks / node.chunk)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        chunk_cost = np.where(nchunks > 0, (flops / rate) / np.maximum(nchunks, 1), 0.0)
+    rounds = np.ceil(nchunks / T)
+    return rounds * (chunk_cost + dispatch)
+
+
+def simulate_static_build(rank_flops: np.ndarray,
+                          rank_ntasks: np.ndarray,
+                          cfg: BGQConfig,
+                          comm: CommPlan,
+                          node: NodeComputeModel | None = None,
+                          collective_algorithm: str = "torus_tree",
+                          dilation: float = 1.0) -> BuildTiming:
+    """Price the paper's scheme: static partition + threaded quartets +
+    two collectives."""
+    if node is None:
+        node = NodeComputeModel(cfg)
+    torus = Torus(cfg.torus_dims)
+    coll = CollectiveModel(cfg, torus, collective_algorithm, dilation)
+    rank_times = _rank_compute_times(rank_flops, rank_ntasks, node)
+    compute = float(rank_times.max()) if rank_times.size else 0.0
+    t_gather = coll.allgather(comm.allgather_bytes_per_rank) \
+        if comm.allgather_bytes_per_rank else 0.0
+    t_reduce = coll.allreduce(comm.allreduce_bytes) \
+        if comm.allreduce_bytes else 0.0
+    t_bcast = coll.broadcast(comm.bcast_bytes) if comm.bcast_bytes else 0.0
+    comm_time = t_gather + t_reduce + t_bcast
+    makespan = compute + comm_time
+    return BuildTiming(
+        makespan=makespan, compute_time=compute, comm_time=comm_time,
+        rank_compute=rank_times, total_flops=float(np.sum(rank_flops)),
+        nranks=cfg.nranks, nthreads=cfg.total_threads,
+        breakdown={"compute": compute, "allgather": t_gather,
+                   "allreduce": t_reduce, "bcast": t_bcast},
+    )
+
+
+def simulate_dynamic_build(total_flops: float,
+                           ntasks: int,
+                           cfg: BGQConfig,
+                           comm: CommPlan,
+                           node: NodeComputeModel | None = None,
+                           chunk_tasks: int = 4,
+                           collective_algorithm: str = "torus_tree",
+                           dilation: float = 1.0) -> BuildTiming:
+    """Price the replicated-data master-worker baseline.
+
+    Workers round-trip to rank 0 for every chunk of ``chunk_tasks``
+    tasks.  The master serializes dispatches: with service time t_s per
+    request, aggregate dispatch throughput is capped at 1/t_s, which is
+    the scaling wall the paper's static scheme removes.
+    """
+    if node is None:
+        node = NodeComputeModel(cfg)
+    torus = Torus(cfg.torus_dims)
+    coll = CollectiveModel(cfg, torus, collective_algorithm, dilation)
+    p = max(cfg.nranks - 1, 1)              # workers (rank 0 is the master)
+    rate = node.thread_rate() * node.nthreads
+    nchunks = max(int(np.ceil(ntasks / chunk_tasks)), 1)
+    chunk_cost = (total_flops / rate) / nchunks
+
+    # master service time per request: a small message each way across
+    # ~half the machine plus software overhead
+    avg_hops = max(torus.average_distance(), 1.0) * dilation
+    req_rtt = 2.0 * point_to_point_time(cfg, 64, int(round(avg_hops)))
+    service = cfg.mpi_overhead + 0.5e-6     # master-side handling per request
+
+    # compute-bound: workers stream chunks, hiding request latency
+    t_compute_bound = nchunks / p * (chunk_cost + req_rtt)
+    # dispatch-bound: the master can hand out at most 1/service chunks/s
+    t_dispatch_bound = nchunks * service
+    compute = max(t_compute_bound, t_dispatch_bound) + chunk_cost
+
+    t_bcast = coll.broadcast(comm.bcast_bytes) if comm.bcast_bytes else 0.0
+    t_reduce = coll.allreduce(comm.allreduce_bytes) \
+        if comm.allreduce_bytes else 0.0
+    comm_time = t_bcast + t_reduce
+    makespan = compute + comm_time
+    rank_times = np.full(cfg.nranks, t_compute_bound)
+    rank_times[0] = t_dispatch_bound
+    return BuildTiming(
+        makespan=makespan, compute_time=compute, comm_time=comm_time,
+        rank_compute=rank_times, total_flops=total_flops,
+        nranks=cfg.nranks, nthreads=cfg.total_threads,
+        breakdown={"compute": t_compute_bound,
+                   "dispatch": t_dispatch_bound,
+                   "bcast": t_bcast, "allreduce": t_reduce,
+                   "request_rtt": req_rtt},
+    )
+
+
+def parallel_efficiency(timings: dict[int, BuildTiming],
+                        ref_threads: int | None = None) -> dict[int, float]:
+    """Strong-scaling parallel efficiency relative to the smallest (or
+    given) thread count: E(n) = T_ref * n_ref / (T(n) * n)."""
+    if not timings:
+        return {}
+    ref = min(timings) if ref_threads is None else ref_threads
+    t_ref = timings[ref].makespan
+    return {n: (t_ref * ref) / (t.makespan * n) for n, t in timings.items()}

@@ -1,0 +1,20 @@
+"""Molecular dynamics: velocity Verlet, thermostats, Born-Oppenheimer MD
+on SCF forces, a classical force field for large boxes, observables."""
+
+from .integrator import (ForceEngine, MDState, VelocityVerlet,
+                         initialize_velocities, kinetic_energy, temperature)
+from .thermostat import BerendsenThermostat, CSVRThermostat, VelocityRescale
+from .forcefield import ForceField, LJParams, detect_bonds, detect_angles
+from .bomd import BOMD, SCFForceEngine
+from .observables import energy_drift, temperature_series, rdf, msd
+from .optimize import OptimizationResult, optimize_geometry
+
+__all__ = [
+    "ForceEngine", "MDState", "VelocityVerlet",
+    "initialize_velocities", "kinetic_energy", "temperature",
+    "BerendsenThermostat", "CSVRThermostat", "VelocityRescale",
+    "ForceField", "LJParams", "detect_bonds", "detect_angles",
+    "BOMD", "SCFForceEngine",
+    "energy_drift", "temperature_series", "rdf", "msd",
+    "OptimizationResult", "optimize_geometry",
+]

@@ -1,0 +1,133 @@
+"""Born-Oppenheimer molecular dynamics on SCF forces.
+
+The paper's production method: every MD step converges the electronic
+structure (PBE0 in their case) and moves nuclei on the resulting
+surface.  Forces come from central finite differences of the SCF
+energy — exact to O(h^2), affordable at the model-complex sizes this
+reproduction runs quantum MD on, and free of the Pulay-term bookkeeping
+analytic gradients require.
+
+Two paper-specific behaviors are reproduced:
+
+* the converged density of the previous step seeds the next step's SCF
+  (halves the iteration count — the MD tailoring the title refers to);
+* per-step SCF iteration and screened-quartet statistics are recorded,
+  feeding the incremental-build experiment (F8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..chem.molecule import Molecule
+from ..scf.dft import RKS
+from ..scf.rhf import RHF, SCFResult
+
+__all__ = ["SCFForceEngine", "BOMD"]
+
+
+@dataclass
+class SCFForceEngine:
+    """Finite-difference forces from any SCF method.
+
+    Parameters
+    ----------
+    mol:
+        Template molecule (numbers/charge; coordinates replaced per call).
+    method:
+        ``"hf"`` or a DFT functional name (``"pbe"``, ``"pbe0"``...).
+    fd_step:
+        Central-difference displacement in Bohr.
+    reuse_density:
+        Seed each SCF with the previous converged density.
+    """
+
+    mol: Molecule
+    method: str = "hf"
+    basis: str = "sto-3g"
+    fd_step: float = 1e-3
+    reuse_density: bool = True
+    conv_tol: float = 1e-8
+    scf_kwargs: dict = field(default_factory=dict)
+    last_result: SCFResult | None = None
+    scf_iterations: list[int] = field(default_factory=list)
+
+    def _solver(self, mol: Molecule):
+        if self.method.lower() == "hf":
+            return RHF(mol, self.basis, conv_tol=self.conv_tol,
+                       **self.scf_kwargs)
+        return RKS(mol, self.basis, functional=self.method,
+                   conv_tol=self.conv_tol, **self.scf_kwargs)
+
+    def _energy(self, coords: np.ndarray, D0: np.ndarray | None) -> SCFResult:
+        mol = self.mol.with_coords(coords)
+        res = self._solver(mol).run(D0=D0)
+        if not res.converged:
+            raise RuntimeError(
+                f"SCF failed to converge at MD geometry (niter={res.niter})")
+        return res
+
+    def energy_forces(self, coords: np.ndarray) -> tuple[float, np.ndarray]:
+        """SCF energy and central-difference forces."""
+        coords = np.asarray(coords, dtype=np.float64)
+        D0 = self.last_result.D if (self.reuse_density and
+                                    self.last_result is not None) else None
+        base = self._energy(coords, D0)
+        self.last_result = base
+        self.scf_iterations.append(base.niter)
+        h = self.fd_step
+        n = len(coords)
+        F = np.zeros((n, 3))
+        for a in range(n):
+            for d in range(3):
+                cp = coords.copy()
+                cp[a, d] += h
+                ep = self._energy(cp, base.D).energy
+                cp[a, d] -= 2 * h
+                em = self._energy(cp, base.D).energy
+                F[a, d] = -(ep - em) / (2 * h)
+        return base.energy, F
+
+
+@dataclass
+class BOMD:
+    """Convenience Born-Oppenheimer MD runner.
+
+    ``analytic_forces=True`` uses the analytic RHF gradient engine
+    (one SCF per step instead of 6N+1; HF method, s/p bases only).
+    """
+
+    mol: Molecule
+    method: str = "hf"
+    basis: str = "sto-3g"
+    dt_fs: float = 0.5
+    temperature: float | None = None
+    seed: int = 0
+    analytic_forces: bool = False
+    engine: object = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.analytic_forces:
+            if self.method.lower() != "hf":
+                raise ValueError("analytic forces are implemented for "
+                                 "the HF method only")
+            from ..scf.gradient import AnalyticSCFForceEngine
+
+            self.engine = AnalyticSCFForceEngine(self.mol, self.basis)
+        else:
+            self.engine = SCFForceEngine(self.mol, self.method, self.basis)
+
+    def run(self, nsteps: int):
+        """Integrate ``nsteps`` of BOMD; returns the trajectory."""
+        from ..constants import fs_to_aut
+        from .integrator import VelocityVerlet, initialize_velocities
+
+        masses = self.mol.masses
+        vv = VelocityVerlet(self.engine, masses, fs_to_aut(self.dt_fs))
+        v0 = None
+        if self.temperature:
+            v0 = initialize_velocities(masses, self.temperature, self.seed)
+        state = vv.initial_state(self.mol.coords, v0)
+        return vv.run(state, nsteps)

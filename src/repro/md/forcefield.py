@@ -1,0 +1,198 @@
+"""A simple classical force field for the condensed-phase substrate.
+
+Harmonic bonds and angles (auto-typed from covalent radii), Lennard-Jones
+plus point-charge Coulomb nonbonded terms with 1-2/1-3 exclusions, and
+optional minimum-image periodic boundary conditions.  It exists so the
+large electrolyte/water boxes of the examples and workload studies can
+be equilibrated and analyzed with real dynamics at a cost Python can
+afford — the quantum (BOMD) engine runs the small model complexes.
+
+Parameters are deliberately generic (UFF-class LJ, uniform force
+constants); the reproduction's chemistry conclusions never rest on this
+force field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..chem.elements import covalent_radius_bohr
+from ..chem.molecule import Molecule
+from ..chem.pbc import Cell, minimum_image
+
+__all__ = ["LJParams", "ForceField", "detect_bonds", "detect_angles"]
+
+# UFF-flavored LJ parameters: sigma (Bohr), epsilon (Hartree)
+_LJ_TABLE: dict[int, tuple[float, float]] = {
+    1: (4.64, 7.0e-5),     # H
+    3: (4.20, 4.0e-5),     # Li
+    6: (6.51, 1.66e-4),    # C
+    7: (6.18, 1.10e-4),    # N
+    8: (5.92, 9.5e-5),     # O
+    16: (6.82, 4.3e-4),    # S
+}
+_LJ_DEFAULT = (6.0, 1.0e-4)
+
+
+@dataclass(frozen=True)
+class LJParams:
+    """Per-atom Lennard-Jones parameters."""
+
+    sigma: float
+    epsilon: float
+
+
+def detect_bonds(mol: Molecule, scale: float = 1.25) -> list[tuple[int, int]]:
+    """Bond list from covalent radii: a bond where
+    ``r_ij < scale * (r_cov_i + r_cov_j)``."""
+    bonds = []
+    r = mol.distance_matrix()
+    rc = np.array([covalent_radius_bohr(int(z)) for z in mol.numbers])
+    for i in range(mol.natom):
+        for j in range(i + 1, mol.natom):
+            if r[i, j] < scale * (rc[i] + rc[j]):
+                bonds.append((i, j))
+    return bonds
+
+
+def detect_angles(bonds: list[tuple[int, int]]) -> list[tuple[int, int, int]]:
+    """Angle triples (i, j, k) with j the apex, from the bond list."""
+    neigh: dict[int, list[int]] = {}
+    for i, j in bonds:
+        neigh.setdefault(i, []).append(j)
+        neigh.setdefault(j, []).append(i)
+    angles = []
+    for j, partners in neigh.items():
+        ps = sorted(partners)
+        for a_i in range(len(ps)):
+            for b_i in range(a_i + 1, len(ps)):
+                angles.append((ps[a_i], j, ps[b_i]))
+    return angles
+
+
+@dataclass
+class ForceField:
+    """Harmonic-bonded + LJ/Coulomb force engine.
+
+    Parameters
+    ----------
+    mol:
+        Topology/reference geometry source (bond lengths and angles at
+        construction become the equilibrium values).
+    cell:
+        Optional periodic cell (minimum image on nonbonded terms).
+    charges:
+        Optional per-atom point charges (default: neutral atoms).
+    kbond / kangle:
+        Uniform harmonic force constants (Ha/Bohr^2, Ha/rad^2).
+    """
+
+    mol: Molecule
+    cell: Cell | None = None
+    charges: np.ndarray | None = None
+    kbond: float = 0.30
+    kangle: float = 0.05
+    bonds: list[tuple[int, int]] = field(default_factory=list)
+    angles: list[tuple[int, int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.bonds:
+            self.bonds = detect_bonds(self.mol)
+        if not self.angles:
+            self.angles = detect_angles(self.bonds)
+        coords = self.mol.coords
+        self.r0 = np.array([np.linalg.norm(self._disp(coords[i], coords[j]))
+                            for i, j in self.bonds])
+        self.theta0 = np.array([self._angle(coords, *ijk)
+                                for ijk in self.angles])
+        if self.charges is None:
+            self.charges = np.zeros(self.mol.natom)
+        else:
+            self.charges = np.asarray(self.charges, dtype=np.float64)
+        lj = [_LJ_TABLE.get(int(z), _LJ_DEFAULT) for z in self.mol.numbers]
+        self.sigma = np.array([p[0] for p in lj])
+        self.eps = np.array([p[1] for p in lj])
+        # 1-2 and 1-3 exclusions
+        excl = set()
+        for i, j in self.bonds:
+            excl.add((min(i, j), max(i, j)))
+        for i, j, k in self.angles:
+            excl.add((min(i, k), max(i, k)))
+        self._excluded = excl
+
+    # --- geometry helpers ----------------------------------------------------
+
+    def _disp(self, xi: np.ndarray, xj: np.ndarray) -> np.ndarray:
+        d = xj - xi
+        if self.cell is not None:
+            d = minimum_image(d, self.cell)
+        return d
+
+    def _angle(self, coords: np.ndarray, i: int, j: int, k: int) -> float:
+        a = self._disp(coords[j], coords[i])
+        b = self._disp(coords[j], coords[k])
+        cosv = float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+        return float(np.arccos(np.clip(cosv, -1.0, 1.0)))
+
+    # --- energy and forces -----------------------------------------------------
+
+    def energy_forces(self, coords: np.ndarray) -> tuple[float, np.ndarray]:
+        """Total energy (Hartree) and forces (Hartree/Bohr)."""
+        coords = np.asarray(coords, dtype=np.float64)
+        n = self.mol.natom
+        F = np.zeros((n, 3))
+        E = 0.0
+        # bonds
+        for b, (i, j) in enumerate(self.bonds):
+            d = self._disp(coords[i], coords[j])
+            r = np.linalg.norm(d)
+            dr = r - self.r0[b]
+            E += 0.5 * self.kbond * dr * dr
+            fij = self.kbond * dr * d / max(r, 1e-12)
+            F[i] += fij
+            F[j] -= fij
+        # angles (numerical gradient of the harmonic term; angle count is
+        # modest and this keeps the code free of the long analytic form)
+        for a, (i, j, k) in enumerate(self.angles):
+            th = self._angle(coords, i, j, k)
+            dth = th - self.theta0[a]
+            E += 0.5 * self.kangle * dth * dth
+            h = 1e-5
+            for atom in (i, j, k):
+                for dim in range(3):
+                    cp = coords.copy()
+                    cp[atom, dim] += h
+                    thp = self._angle(cp, i, j, k)
+                    cp[atom, dim] -= 2 * h
+                    thm = self._angle(cp, i, j, k)
+                    grad = self.kangle * dth * (thp - thm) / (2 * h)
+                    F[atom, dim] -= grad
+        # nonbonded (vectorized over all pairs, exclusions masked)
+        dvec = coords[None, :, :] - coords[:, None, :]
+        if self.cell is not None:
+            dvec = minimum_image(dvec.reshape(-1, 3), self.cell).reshape(n, n, 3)
+        r2 = (dvec * dvec).sum(axis=-1)
+        iu = np.triu_indices(n, k=1)
+        mask = np.ones(len(iu[0]), dtype=bool)
+        for idx, (i, j) in enumerate(zip(iu[0], iu[1])):
+            if (int(i), int(j)) in self._excluded:
+                mask[idx] = False
+        ii, jj = iu[0][mask], iu[1][mask]
+        if len(ii):
+            rij2 = r2[ii, jj]
+            rij = np.sqrt(rij2)
+            sig = 0.5 * (self.sigma[ii] + self.sigma[jj])
+            eps = np.sqrt(self.eps[ii] * self.eps[jj])
+            sr6 = (sig * sig / rij2) ** 3
+            sr12 = sr6 * sr6
+            E += float((4.0 * eps * (sr12 - sr6)).sum())
+            qq = self.charges[ii] * self.charges[jj]
+            E += float((qq / rij).sum())
+            # dE/dr terms
+            dEdr = (-4.0 * eps * (12.0 * sr12 - 6.0 * sr6) / rij) - qq / rij2
+            fvec = (dEdr / rij)[:, None] * dvec[ii, jj]
+            np.add.at(F, ii, fvec)
+            np.add.at(F, jj, -fvec)
+        return E, F

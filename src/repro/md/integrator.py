@@ -1,0 +1,127 @@
+"""Velocity-Verlet integration for molecular dynamics.
+
+All quantities in atomic units (Bohr, Hartree, electron masses, atomic
+time).  The integrator is force-engine agnostic: anything exposing
+``energy_forces(coords) -> (E, F)`` drives it — the classical force
+field for big boxes, the Born-Oppenheimer SCF engine for the PBE0 MD of
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..constants import BOLTZMANN_HARTREE_PER_K
+
+__all__ = ["ForceEngine", "MDState", "VelocityVerlet",
+           "initialize_velocities", "kinetic_energy", "temperature"]
+
+
+class ForceEngine(Protocol):
+    """Anything that yields energy and forces for a set of coordinates."""
+
+    def energy_forces(self, coords: np.ndarray) -> tuple[float, np.ndarray]:
+        """Return ``(E, F)`` with forces shape ``(natom, 3)`` in
+        Hartree/Bohr."""
+        ...
+
+
+def kinetic_energy(masses: np.ndarray, velocities: np.ndarray) -> float:
+    """Classical nuclear kinetic energy (Hartree)."""
+    return 0.5 * float((masses[:, None] * velocities * velocities).sum())
+
+
+def temperature(masses: np.ndarray, velocities: np.ndarray) -> float:
+    """Instantaneous kinetic temperature (Kelvin); 3N degrees of freedom."""
+    ndof = 3 * len(masses)
+    if ndof == 0:
+        return 0.0
+    ke = kinetic_energy(masses, velocities)
+    return 2.0 * ke / (ndof * BOLTZMANN_HARTREE_PER_K)
+
+
+def initialize_velocities(masses: np.ndarray, T: float, seed: int = 0,
+                          zero_momentum: bool = True) -> np.ndarray:
+    """Maxwell-Boltzmann velocities at temperature ``T`` (Kelvin)."""
+    rng = np.random.default_rng(seed)
+    kt = T * BOLTZMANN_HARTREE_PER_K
+    sigma = np.sqrt(kt / masses)
+    v = rng.normal(size=(len(masses), 3)) * sigma[:, None]
+    if zero_momentum and len(masses):
+        p = (masses[:, None] * v).sum(axis=0)
+        v -= p[None, :] / masses.sum()
+    return v
+
+
+@dataclass
+class MDState:
+    """Dynamical state of the nuclei."""
+
+    coords: np.ndarray
+    velocities: np.ndarray
+    forces: np.ndarray
+    energy_pot: float
+    step: int = 0
+
+    def total_energy(self, masses: np.ndarray) -> float:
+        """Conserved quantity (potential + kinetic)."""
+        return self.energy_pot + kinetic_energy(masses, self.velocities)
+
+
+@dataclass
+class VelocityVerlet:
+    """The standard symplectic integrator.
+
+    Parameters
+    ----------
+    engine:
+        Force provider.
+    masses:
+        Atomic masses (electron-mass units), shape ``(natom,)``.
+    dt:
+        Timestep in atomic time units.
+    thermostat:
+        Optional callable ``(state, masses, dt) -> None`` mutating the
+        velocities in place after each step.
+    """
+
+    engine: ForceEngine
+    masses: np.ndarray
+    dt: float
+    thermostat: Callable[[MDState, np.ndarray, float], None] | None = None
+    callbacks: list[Callable[[MDState], None]] = field(default_factory=list)
+
+    def initial_state(self, coords: np.ndarray,
+                      velocities: np.ndarray | None = None) -> MDState:
+        """Evaluate forces at the initial geometry."""
+        e, f = self.engine.energy_forces(coords)
+        if velocities is None:
+            velocities = np.zeros_like(coords)
+        return MDState(np.asarray(coords, float).copy(),
+                       np.asarray(velocities, float).copy(), f, e)
+
+    def step(self, state: MDState) -> MDState:
+        """One velocity-Verlet step."""
+        m = self.masses[:, None]
+        half_v = state.velocities + 0.5 * self.dt * state.forces / m
+        new_x = state.coords + self.dt * half_v
+        e, f = self.engine.energy_forces(new_x)
+        new_v = half_v + 0.5 * self.dt * f / m
+        new_state = MDState(new_x, new_v, f, e, state.step + 1)
+        if self.thermostat is not None:
+            self.thermostat(new_state, self.masses, self.dt)
+        for cb in self.callbacks:
+            cb(new_state)
+        return new_state
+
+    def run(self, state: MDState, nsteps: int) -> list[MDState]:
+        """Integrate ``nsteps`` steps; returns the trajectory
+        (including the initial state)."""
+        traj = [state]
+        for _ in range(nsteps):
+            state = self.step(state)
+            traj.append(state)
+        return traj

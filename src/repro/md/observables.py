@@ -1,0 +1,86 @@
+"""Trajectory observables: energy conservation, temperature series,
+radial distribution functions, mean-square displacement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chem.pbc import Cell, minimum_image
+from .integrator import MDState, temperature
+
+__all__ = ["energy_drift", "temperature_series", "rdf", "msd"]
+
+
+def energy_drift(traj: list[MDState], masses: np.ndarray) -> float:
+    """Relative drift of the conserved energy over the trajectory:
+    |E_last - E_first| / |E_first| (should be ~1e-6/ps-class for a sane
+    timestep)."""
+    if len(traj) < 2:
+        return 0.0
+    e0 = traj[0].total_energy(masses)
+    e1 = traj[-1].total_energy(masses)
+    return abs(e1 - e0) / max(abs(e0), 1e-300)
+
+
+def temperature_series(traj: list[MDState], masses: np.ndarray) -> np.ndarray:
+    """Instantaneous temperature (K) per frame."""
+    return np.array([temperature(masses, s.velocities) for s in traj])
+
+
+def rdf(frames: list[np.ndarray], sel_a: np.ndarray, sel_b: np.ndarray,
+        cell: Cell | None = None, rmax: float = 12.0, nbins: int = 60
+        ) -> tuple[np.ndarray, np.ndarray]:
+    """Radial distribution function g_ab(r).
+
+    Parameters
+    ----------
+    frames:
+        Coordinate arrays ``(natom, 3)`` in Bohr.
+    sel_a, sel_b:
+        Index arrays of the two species.
+    cell:
+        Periodic cell (None: open boundaries, normalized by ideal-gas
+        count in the sampled sphere).
+
+    Returns ``(r_centers, g)``.
+    """
+    sel_a = np.asarray(sel_a)
+    sel_b = np.asarray(sel_b)
+    edges = np.linspace(0.0, rmax, nbins + 1)
+    counts = np.zeros(nbins)
+    npairs_frame = 0
+    for x in frames:
+        d = x[sel_b][None, :, :] - x[sel_a][:, None, :]
+        if cell is not None:
+            d = minimum_image(d.reshape(-1, 3), cell).reshape(d.shape)
+        r = np.sqrt((d * d).sum(axis=-1)).reshape(-1)
+        # drop self pairs
+        r = r[r > 1e-8]
+        counts += np.histogram(r, bins=edges)[0]
+        npairs_frame = len(r)
+    counts /= max(len(frames), 1)
+    centers = 0.5 * (edges[1:] + edges[:-1])
+    shell_vol = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    if cell is not None:
+        density = npairs_frame / cell.volume
+    else:
+        density = npairs_frame / (4.0 / 3.0 * np.pi * rmax ** 3)
+    ideal = density * shell_vol
+    g = np.where(ideal > 0, counts / np.maximum(ideal, 1e-300), 0.0)
+    return centers, g
+
+
+def msd(frames: list[np.ndarray], sel: np.ndarray | None = None) -> np.ndarray:
+    """Mean-square displacement per frame relative to frame 0 (Bohr^2).
+
+    Assumes unwrapped coordinates.
+    """
+    if not frames:
+        return np.array([])
+    x0 = frames[0] if sel is None else frames[0][sel]
+    out = np.empty(len(frames))
+    for t, x in enumerate(frames):
+        xt = x if sel is None else x[sel]
+        d = xt - x0
+        out[t] = float((d * d).sum(axis=1).mean())
+    return out

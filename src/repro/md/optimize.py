@@ -1,0 +1,90 @@
+"""Geometry optimization on any force engine.
+
+A damped BFGS in Cartesian coordinates — enough to relax the small
+model complexes (paper workflow: optimize, then run PBE0 BOMD).  Works
+with any :class:`~repro.md.integrator.ForceEngine` (classical force
+field or SCF forces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .integrator import ForceEngine
+
+__all__ = ["OptimizationResult", "optimize_geometry"]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a geometry optimization."""
+
+    coords: np.ndarray
+    energy: float
+    forces: np.ndarray
+    converged: bool
+    niter: int
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def fmax(self) -> float:
+        """Largest force component at the final geometry."""
+        return float(np.abs(self.forces).max())
+
+
+def optimize_geometry(engine: ForceEngine, coords0: np.ndarray,
+                      fmax: float = 1e-4, max_steps: int = 200,
+                      max_step_length: float = 0.3) -> OptimizationResult:
+    """Minimize the energy with BFGS (trust-radius capped steps).
+
+    Parameters
+    ----------
+    engine:
+        Energy/force provider (forces = -gradient, Hartree/Bohr).
+    coords0:
+        Starting geometry, shape ``(natom, 3)`` Bohr.
+    fmax:
+        Convergence: largest |force component| below this.
+    max_step_length:
+        Per-step displacement cap in Bohr (keeps SCF guesses valid).
+    """
+    x = np.asarray(coords0, dtype=np.float64).reshape(-1).copy()
+    n = x.size
+    H = np.eye(n)   # inverse-Hessian approximation
+    e, f = engine.energy_forces(x.reshape(-1, 3))
+    g = -f.reshape(-1)
+    history = [e]
+    converged = bool(np.abs(g).max() < fmax)
+    it = 0
+    while not converged and it < max_steps:
+        it += 1
+        step = -H @ g
+        norm = np.linalg.norm(step)
+        if norm > max_step_length:
+            step *= max_step_length / norm
+        # backtracking line search on the energy
+        alpha = 1.0
+        for _ in range(6):
+            e_new, f_new = engine.energy_forces(
+                (x + alpha * step).reshape(-1, 3))
+            if e_new < e + 1e-12:
+                break
+            alpha *= 0.5
+        x_new = x + alpha * step
+        g_new = -f_new.reshape(-1)
+        # BFGS update of the inverse Hessian
+        s = x_new - x
+        y = g_new - g
+        sy = float(s @ y)
+        if sy > 1e-12:
+            rho = 1.0 / sy
+            I = np.eye(n)
+            V = I - rho * np.outer(s, y)
+            H = V @ H @ V.T + rho * np.outer(s, s)
+        x, g, e, f = x_new, g_new, e_new, f_new
+        history.append(e)
+        converged = bool(np.abs(g).max() < fmax)
+    return OptimizationResult(x.reshape(-1, 3), e, f, converged, it,
+                              history)

@@ -1,0 +1,77 @@
+"""Thermostats for NVT molecular dynamics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import BOLTZMANN_HARTREE_PER_K
+from .integrator import MDState, kinetic_energy
+
+__all__ = ["BerendsenThermostat", "CSVRThermostat", "VelocityRescale"]
+
+
+@dataclass
+class VelocityRescale:
+    """Brutal velocity rescaling to the target temperature every
+    ``every`` steps (equilibration only)."""
+
+    T: float
+    every: int = 1
+
+    def __call__(self, state: MDState, masses: np.ndarray, dt: float) -> None:
+        if self.every > 1 and state.step % self.every:
+            return
+        ndof = 3 * len(masses)
+        ke = kinetic_energy(masses, state.velocities)
+        if ke <= 0.0:
+            return
+        target = 0.5 * ndof * self.T * BOLTZMANN_HARTREE_PER_K
+        state.velocities *= np.sqrt(target / ke)
+
+
+@dataclass
+class BerendsenThermostat:
+    """Weak-coupling thermostat: lambda = sqrt(1 + dt/tau (T0/T - 1))."""
+
+    T: float
+    tau: float   # coupling time in atomic units
+
+    def __call__(self, state: MDState, masses: np.ndarray, dt: float) -> None:
+        ndof = 3 * len(masses)
+        ke = kinetic_energy(masses, state.velocities)
+        if ke <= 0.0:
+            return
+        t_now = 2.0 * ke / (ndof * BOLTZMANN_HARTREE_PER_K)
+        lam2 = 1.0 + (dt / self.tau) * (self.T / max(t_now, 1e-12) - 1.0)
+        state.velocities *= np.sqrt(max(lam2, 0.0))
+
+
+@dataclass
+class CSVRThermostat:
+    """Canonical sampling through velocity rescaling (Bussi 2007),
+    simplified: stochastic kinetic-energy relaxation towards the
+    canonical distribution with time constant ``tau``."""
+
+    T: float
+    tau: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def __call__(self, state: MDState, masses: np.ndarray, dt: float) -> None:
+        ndof = 3 * len(masses)
+        ke = kinetic_energy(masses, state.velocities)
+        if ke <= 0.0:
+            return
+        kt = self.T * BOLTZMANN_HARTREE_PER_K
+        ke_target = 0.5 * ndof * kt
+        c = np.exp(-dt / self.tau)
+        # Wiener increment of the kinetic-energy Ornstein-Uhlenbeck
+        r = self._rng.normal()
+        ke_new = (ke * c + ke_target / ndof * (1.0 - c)
+                  * (self._rng.chisquare(ndof - 1) + r * r)
+                  + 2.0 * r * np.sqrt(ke * ke_target / ndof * c * (1.0 - c)))
+        state.velocities *= np.sqrt(max(ke_new, 1e-300) / ke)

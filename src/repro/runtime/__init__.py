@@ -1,0 +1,14 @@
+"""Simulated parallel runtime: MPI-like communicator, OpenMP-like thread
+teams, QPX-like SIMD model, tracing."""
+
+from .comm import CommLog, SimComm, SimWorld
+from .threads import ScheduleResult, ThreadTeam
+from .simd import SIMDModel, KernelProfile, ERI_KERNEL, DGEMM_KERNEL, SCALAR_KERNEL
+from .trace import Timer, Trace, TraceEvent
+
+__all__ = [
+    "CommLog", "SimComm", "SimWorld",
+    "ScheduleResult", "ThreadTeam",
+    "SIMDModel", "KernelProfile", "ERI_KERNEL", "DGEMM_KERNEL", "SCALAR_KERNEL",
+    "Timer", "Trace", "TraceEvent",
+]

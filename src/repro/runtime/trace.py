@@ -1,0 +1,101 @@
+"""Lightweight tracing/timing utilities for the simulated runtime and
+the real (wall-clock) benchmarks."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "TraceEvent", "Trace"]
+
+
+class Timer:
+    """Accumulating wall-clock timer usable as a context manager."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self._t0: float | None = None
+
+    def start(self) -> None:
+        """Begin an interval."""
+        if self._t0 is not None:
+            raise RuntimeError("timer already running")
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> float:
+        """End the interval; returns its duration."""
+        if self._t0 is None:
+            raise RuntimeError("timer not running")
+        dt = time.perf_counter() - self._t0
+        self._t0 = None
+        self.total += dt
+        self.count += 1
+        return dt
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def mean(self) -> float:
+        """Mean interval duration."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceEvent:
+    """One labeled span on a logical timeline (simulated seconds)."""
+
+    label: str
+    start: float
+    end: float
+    rank: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Span length."""
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """A collection of spans, e.g. one simulated HFX build."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, label: str, start: float, end: float, rank: int = 0) -> None:
+        """Record a span."""
+        if end < start:
+            raise ValueError("event ends before it starts")
+        self.events.append(TraceEvent(label, start, end, rank))
+
+    @contextmanager
+    def span(self, label: str, clock: Timer, rank: int = 0):
+        """Record a wall-clock span around a code block."""
+        t0 = time.perf_counter()
+        yield
+        t1 = time.perf_counter()
+        self.add(label, t0, t1, rank)
+
+    def total(self, label: str) -> float:
+        """Summed duration of all spans with this label."""
+        return sum(e.duration for e in self.events if e.label == label)
+
+    def by_label(self) -> dict[str, float]:
+        """Label -> summed duration."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.label] = out.get(e.label, 0.0) + e.duration
+        return out
+
+    def makespan(self) -> float:
+        """Latest end minus earliest start."""
+        if not self.events:
+            return 0.0
+        return (max(e.end for e in self.events)
+                - min(e.start for e in self.events))

@@ -1,0 +1,73 @@
+"""Pulay DIIS (direct inversion in the iterative subspace) convergence
+acceleration for SCF."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DIIS"]
+
+
+class DIIS:
+    """Classic commutator-DIIS.
+
+    Stores up to ``max_vec`` Fock matrices and their orbital-gradient
+    residuals ``e = S^-1/2 (FDS - SDF) S^-1/2`` and extrapolates the next
+    Fock matrix by minimizing the residual norm in the spanned subspace.
+    """
+
+    def __init__(self, max_vec: int = 8):
+        if max_vec < 2:
+            raise ValueError("DIIS needs at least 2 vectors")
+        self.max_vec = max_vec
+        self._focks: list[np.ndarray] = []
+        self._errs: list[np.ndarray] = []
+
+    @property
+    def nvec(self) -> int:
+        """Number of stored vectors."""
+        return len(self._focks)
+
+    def push(self, fock: np.ndarray, err: np.ndarray) -> None:
+        """Add a Fock/error pair, evicting the oldest beyond capacity."""
+        self._focks.append(fock.copy())
+        self._errs.append(err.copy())
+        if len(self._focks) > self.max_vec:
+            self._focks.pop(0)
+            self._errs.pop(0)
+
+    def error_norm(self) -> float:
+        """Max-abs of the most recent residual (the SCF convergence
+        measure)."""
+        if not self._errs:
+            return np.inf
+        return float(np.abs(self._errs[-1]).max())
+
+    def extrapolate(self) -> np.ndarray:
+        """Solve the DIIS equations and return the extrapolated Fock.
+
+        Falls back to the latest Fock when fewer than two vectors are
+        stored or the B matrix is numerically singular.
+        """
+        n = len(self._focks)
+        if n < 2:
+            return self._focks[-1]
+        B = np.empty((n + 1, n + 1))
+        B[-1, :] = -1.0
+        B[:, -1] = -1.0
+        B[-1, -1] = 0.0
+        for i in range(n):
+            for j in range(i, n):
+                B[i, j] = B[j, i] = float(np.vdot(self._errs[i], self._errs[j]))
+        rhs = np.zeros(n + 1)
+        rhs[-1] = -1.0
+        try:
+            coef = np.linalg.solve(B, rhs)[:n]
+        except np.linalg.LinAlgError:
+            return self._focks[-1]
+        if not np.all(np.isfinite(coef)):
+            return self._focks[-1]
+        out = np.zeros_like(self._focks[-1])
+        for c, f in zip(coef, self._focks):
+            out += c * f
+        return out

@@ -1,0 +1,177 @@
+"""Exchange-correlation functionals: Slater/LDA, PW92, PBE, and the
+hybrid mixing rules for PBE0.
+
+Spin-restricted (closed-shell) throughout.  Energy densities follow the
+libxc convention: ``exc`` is energy per unit volume as a function of the
+density ``rho`` and the gradient invariant ``sigma = |grad rho|^2``;
+potentials ``vrho = d exc / d rho`` and ``vsigma = d exc / d sigma`` are
+obtained by differentiating the closed forms analytically where cheap
+(LDA) and by high-accuracy central differences for the GGA terms (the
+SCF only needs ~1e-9 consistency, far above the FD noise floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["lda_exchange", "pw92_correlation", "pbe_exchange",
+           "pbe_correlation", "Functional", "FUNCTIONALS", "get_functional"]
+
+_CX = -0.75 * (3.0 / np.pi) ** (1.0 / 3.0)
+_TINY = 1e-30
+
+
+# --------------------------------------------------------------------------
+# LDA pieces (analytic derivatives)
+# --------------------------------------------------------------------------
+
+def lda_exchange(rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Slater exchange: energy density (per volume) and vrho."""
+    rho = np.maximum(rho, _TINY)
+    r13 = rho ** (1.0 / 3.0)
+    exc = _CX * r13 * rho          # = Cx rho^(4/3)
+    vrho = (4.0 / 3.0) * _CX * r13
+    return exc, vrho
+
+
+# PW92 parameters for the unpolarized case (zeta = 0)
+_PW92 = dict(A=0.031091, a1=0.21370, b1=7.5957, b2=3.5876, b3=1.6382,
+             b4=0.49294)
+
+
+def _pw92_eps(rs: np.ndarray) -> np.ndarray:
+    """PW92 correlation energy per electron (unpolarized)."""
+    p = _PW92
+    srs = np.sqrt(rs)
+    den = 2.0 * p["A"] * (p["b1"] * srs + p["b2"] * rs
+                          + p["b3"] * rs * srs + p["b4"] * rs * rs)
+    return -2.0 * p["A"] * (1.0 + p["a1"] * rs) * np.log1p(1.0 / den)
+
+
+def pw92_correlation(rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """PW92 LDA correlation: energy density and vrho.
+
+    vrho = eps + rho * d eps/d rho = eps - (rs/3) d eps/d rs.
+    """
+    rho = np.maximum(rho, _TINY)
+    rs = (3.0 / (4.0 * np.pi * rho)) ** (1.0 / 3.0)
+    eps = _pw92_eps(rs)
+    drs = rs * 1e-6 + 1e-12
+    deps = (_pw92_eps(rs + drs) - _pw92_eps(rs - drs)) / (2.0 * drs)
+    exc = eps * rho
+    vrho = eps - (rs / 3.0) * deps
+    return exc, vrho
+
+
+# --------------------------------------------------------------------------
+# PBE pieces (energy closed-form; derivatives by central differences)
+# --------------------------------------------------------------------------
+
+_PBE_KAPPA = 0.804
+_PBE_MU = 0.2195149727645171
+_PBE_BETA = 0.06672455060314922
+_PBE_GAMMA = (1.0 - np.log(2.0)) / np.pi ** 2
+
+
+def _pbe_x_energy(rho: np.ndarray, sigma: np.ndarray) -> np.ndarray:
+    """PBE exchange energy density (per volume)."""
+    rho = np.maximum(rho, _TINY)
+    kf = (3.0 * np.pi ** 2 * rho) ** (1.0 / 3.0)
+    s2 = np.maximum(sigma, 0.0) / (4.0 * kf * kf * rho * rho)
+    fx = 1.0 + _PBE_KAPPA - _PBE_KAPPA / (1.0 + _PBE_MU * s2 / _PBE_KAPPA)
+    ex_lda = _CX * rho ** (4.0 / 3.0)
+    return ex_lda * fx
+
+
+def _pbe_c_energy(rho: np.ndarray, sigma: np.ndarray) -> np.ndarray:
+    """PBE correlation energy density (per volume), unpolarized."""
+    rho = np.maximum(rho, _TINY)
+    rs = (3.0 / (4.0 * np.pi * rho)) ** (1.0 / 3.0)
+    eps = _pw92_eps(rs)
+    kf = (3.0 * np.pi ** 2 * rho) ** (1.0 / 3.0)
+    ks = np.sqrt(4.0 * kf / np.pi)
+    grad = np.sqrt(np.maximum(sigma, 0.0))
+    t2 = (grad / (2.0 * ks * rho)) ** 2
+    expo = np.exp(-eps / _PBE_GAMMA)
+    A = _PBE_BETA / _PBE_GAMMA / np.maximum(expo - 1.0, _TINY)
+    num = 1.0 + A * t2
+    den = 1.0 + A * t2 + A * A * t2 * t2
+    H = _PBE_GAMMA * np.log1p(_PBE_BETA / _PBE_GAMMA * t2 * num / den)
+    return (eps + H) * rho
+
+
+def _fd_gga(f: Callable[[np.ndarray, np.ndarray], np.ndarray],
+            rho: np.ndarray, sigma: np.ndarray
+            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Energy density plus (vrho, vsigma) by central differences."""
+    exc = f(rho, sigma)
+    hr = np.maximum(np.abs(rho), 1e-10) * 1e-6
+    hs = np.maximum(np.abs(sigma), 1e-10) * 1e-6
+    vrho = (f(rho + hr, sigma) - f(np.maximum(rho - hr, _TINY), sigma)) / (2 * hr)
+    vsigma = (f(rho, sigma + hs) - f(rho, np.maximum(sigma - hs, 0.0))) / (2 * hs)
+    return exc, vrho, vsigma
+
+
+def pbe_exchange(rho, sigma):
+    """PBE exchange: (exc, vrho, vsigma)."""
+    return _fd_gga(_pbe_x_energy, np.asarray(rho, float), np.asarray(sigma, float))
+
+
+def pbe_correlation(rho, sigma):
+    """PBE correlation: (exc, vrho, vsigma)."""
+    return _fd_gga(_pbe_c_energy, np.asarray(rho, float), np.asarray(sigma, float))
+
+
+# --------------------------------------------------------------------------
+# Functional registry
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Functional:
+    """A (possibly hybrid) exchange-correlation functional.
+
+    ``hfx_fraction`` is the coefficient of Hartree-Fock exact exchange —
+    0 for pure GGAs, 0.25 for PBE0 (the paper's production functional).
+    The semilocal exchange is scaled by ``(1 - hfx_fraction)``.
+    """
+
+    name: str
+    hfx_fraction: float
+    needs_gradient: bool
+
+    def evaluate(self, rho: np.ndarray, sigma: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Semilocal (exc, vrho, vsigma) on the grid (exact exchange is
+        handled by the Fock build, not here)."""
+        key = self.name.lower()
+        if key in ("lda", "svwn", "spw92"):
+            ex, vx = lda_exchange(rho)
+            ec, vc = pw92_correlation(rho)
+            z = np.zeros_like(rho)
+            return ex + ec, vx + vc, z
+        if key in ("pbe", "pbe0"):
+            sx = 1.0 - self.hfx_fraction
+            ex, vxr, vxs = pbe_exchange(rho, sigma)
+            ec, vcr, vcs = pbe_correlation(rho, sigma)
+            return sx * ex + ec, sx * vxr + vcr, sx * vxs + vcs
+        raise ValueError(f"unknown functional {self.name!r}")
+
+
+FUNCTIONALS: dict[str, Functional] = {
+    "lda": Functional("lda", 0.0, False),
+    "pbe": Functional("pbe", 0.0, True),
+    "pbe0": Functional("pbe0", 0.25, True),
+    "hf": Functional("hf", 1.0, False),
+}
+
+
+def get_functional(name: str) -> Functional:
+    """Look up a registered functional by (case-insensitive) name."""
+    try:
+        return FUNCTIONALS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown functional {name!r}; "
+                         f"available: {sorted(FUNCTIONALS)}") from None

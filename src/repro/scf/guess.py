@@ -1,0 +1,75 @@
+"""Initial-guess densities for SCF."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+__all__ = ["core_guess", "density_from_orbitals", "orthogonalizer",
+           "fermi_occupations", "density_from_occupations"]
+
+
+def fermi_occupations(eps: np.ndarray, nelec: float,
+                      sigma: float) -> np.ndarray:
+    """Fractional occupations (0..2 per spatial orbital) from a
+    Fermi-Dirac distribution at smearing width ``sigma`` (Hartree).
+
+    The chemical potential is located by bisection so the occupations
+    sum to ``nelec``.  Smearing is how condensed-phase SCF codes tame
+    near-degenerate frontier orbitals (metallic/charge-transfer cases).
+    """
+    eps = np.asarray(eps, dtype=np.float64)
+    if sigma <= 0.0:
+        raise ValueError("sigma must be positive")
+
+    def occ(mu):
+        x = np.clip((eps - mu) / sigma, -60.0, 60.0)
+        return 2.0 / (1.0 + np.exp(x))
+
+    lo, hi = eps.min() - 50.0 * sigma, eps.max() + 50.0 * sigma
+    for _ in range(200):
+        mu = 0.5 * (lo + hi)
+        n = occ(mu).sum()
+        if abs(n - nelec) < 1e-12:
+            break
+        if n < nelec:
+            lo = mu
+        else:
+            hi = mu
+    return occ(0.5 * (lo + hi))
+
+
+def density_from_occupations(C: np.ndarray, occ: np.ndarray) -> np.ndarray:
+    """AO density from orbitals with (possibly fractional) occupations."""
+    return (C * occ[None, :]) @ C.T
+
+
+def orthogonalizer(S: np.ndarray, lin_dep_tol: float = 1e-8) -> np.ndarray:
+    """Symmetric (Loewdin) orthogonalizer X = S^-1/2.
+
+    Eigenvectors of S with eigenvalues below ``lin_dep_tol`` are
+    projected out (canonical orthogonalization), which keeps
+    near-linearly-dependent condensed-phase bases stable.
+    """
+    w, U = np.linalg.eigh(S)
+    keep = w > lin_dep_tol
+    return U[:, keep] * (1.0 / np.sqrt(w[keep]))
+
+
+def density_from_orbitals(C: np.ndarray, nocc: int) -> np.ndarray:
+    """Closed-shell AO density D = 2 C_occ C_occ^T."""
+    Cocc = C[:, :nocc]
+    return 2.0 * Cocc @ Cocc.T
+
+
+def core_guess(hcore: np.ndarray, S: np.ndarray, nocc: int
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Diagonalize the core Hamiltonian for the starting density.
+
+    Returns ``(D, C, eps)``.
+    """
+    X = orthogonalizer(S)
+    f = X.T @ hcore @ X
+    eps, Cp = np.linalg.eigh(f)
+    C = X @ Cp
+    return density_from_orbitals(C, nocc), C, eps

@@ -1,0 +1,213 @@
+"""Restricted Hartree-Fock with DIIS.
+
+The RHF driver is both a validation target (literature STO-3G energies)
+and the host of the HFX build the paper parallelizes: every SCF
+iteration calls a J/K builder, and :mod:`repro.hfx` swaps in the
+distributed one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..basis.basisset import BasisSet, build_basis
+from ..chem.molecule import Molecule, nuclear_repulsion
+from ..integrals import (eri_tensor, kinetic_matrix, nuclear_matrix,
+                         overlap_matrix)
+from .diis import DIIS
+from .fock import DirectJKBuilder, jk_from_tensor
+from .guess import core_guess, density_from_orbitals, orthogonalizer
+
+__all__ = ["SCFResult", "RHF", "run_rhf"]
+
+
+@dataclass
+class SCFResult:
+    """Converged (or best-effort) SCF state."""
+
+    energy: float
+    energy_nuc: float
+    energy_electronic: float
+    converged: bool
+    niter: int
+    C: np.ndarray
+    eps: np.ndarray
+    D: np.ndarray
+    F: np.ndarray
+    S: np.ndarray
+    hcore: np.ndarray
+    basis: BasisSet
+    exchange_energy: float = 0.0
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def nocc(self) -> int:
+        """Number of doubly occupied orbitals."""
+        return self.basis.molecule.nelectron // 2
+
+    def homo_lumo_gap(self) -> float:
+        """HOMO-LUMO gap in Hartree (inf when no virtuals exist)."""
+        n = self.nocc
+        if n >= len(self.eps):
+            return np.inf
+        return float(self.eps[n] - self.eps[n - 1])
+
+    def mulliken_charges(self) -> np.ndarray:
+        """Mulliken atomic partial charges."""
+        pop = np.einsum("pq,qp->p", self.D, self.S)
+        charges = self.basis.molecule.numbers.astype(float).copy()
+        for ish, sh in enumerate(self.basis.shells):
+            sl = self.basis.shell_slice(ish)
+            charges[sh.atom] -= pop[sl].sum()
+        return charges
+
+
+class RHF:
+    """Restricted Hartree-Fock driver.
+
+    Parameters
+    ----------
+    mol:
+        Closed-shell molecule (even electron count).
+    basis:
+        Basis-set name (see :func:`repro.basis.available_basis_sets`)
+        or a prebuilt :class:`BasisSet`.
+    mode:
+        ``"incore"`` materializes the ERI tensor (small systems);
+        ``"direct"`` uses screened shell-quartet builds — the execution
+        style of the paper.
+    screen_eps:
+        Cauchy-Schwarz threshold for direct mode (the paper's
+        controllable-accuracy knob).
+    """
+
+    def __init__(self, mol: Molecule, basis: str | BasisSet = "sto-3g",
+                 mode: str = "incore", screen_eps: float = 1e-10,
+                 conv_tol: float = 1e-8, max_iter: int = 100,
+                 diis_size: int = 8, level_shift: float = 0.0,
+                 damping: float = 0.0, smearing: float = 0.0):
+        if mol.nelectron % 2 != 0:
+            raise ValueError("RHF requires an even electron count; "
+                             f"{mol.name or 'molecule'} has {mol.nelectron}")
+        if mode not in ("incore", "direct"):
+            raise ValueError(f"mode must be 'incore' or 'direct', got {mode!r}")
+        self.mol = mol
+        self.basis = basis if isinstance(basis, BasisSet) else build_basis(mol, basis)
+        self.mode = mode
+        self.screen_eps = screen_eps
+        self.conv_tol = conv_tol
+        self.max_iter = max_iter
+        self.diis_size = diis_size
+        self.level_shift = level_shift
+        self.damping = damping
+        self.smearing = smearing
+        if not 0.0 <= damping < 1.0:
+            raise ValueError("damping must be in [0, 1)")
+        if smearing < 0.0:
+            raise ValueError("smearing must be non-negative")
+        self._eri = None
+        self._direct: DirectJKBuilder | None = None
+
+    def _next_density(self, Fd, X, S, D_old, nocc):
+        """Diagonalize the (possibly level-shifted) Fock matrix and form
+        the next (possibly damped) density.
+
+        Level shifting raises the virtual orbitals by ``level_shift``
+        Hartree (projector built from the current density), damping
+        mixes ``damping`` of the old density into the new one — both
+        standard stabilizers for hard (e.g. anionic-complex) SCFs.
+        """
+        f = X.T @ Fd @ X
+        if self.level_shift > 0.0:
+            # occupied projector in the orthonormal basis
+            half = X.T @ S @ (0.5 * D_old) @ S @ X
+            f = f + self.level_shift * (np.eye(f.shape[0]) - half)
+        eps, Cp = np.linalg.eigh(f)
+        C = X @ Cp
+        if self.smearing > 0.0:
+            from .guess import density_from_occupations, fermi_occupations
+
+            occ = fermi_occupations(eps, 2.0 * nocc, self.smearing)
+            D = density_from_occupations(C, occ)
+        else:
+            D = density_from_orbitals(C, nocc)
+        if self.damping > 0.0:
+            D = (1.0 - self.damping) * D + self.damping * D_old
+        return D, C, eps
+
+    # --- integral plumbing ---------------------------------------------------
+
+    def _setup(self):
+        S = overlap_matrix(self.basis)
+        T = kinetic_matrix(self.basis)
+        V = nuclear_matrix(self.basis)
+        hcore = T + V
+        if self.mode == "incore":
+            self._eri = eri_tensor(self.basis)
+        else:
+            self._direct = DirectJKBuilder(self.basis, eps=self.screen_eps)
+        return S, hcore
+
+    def build_jk(self, D: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """J and K for the current density (mode-dispatched)."""
+        if self.mode == "incore":
+            return jk_from_tensor(self._eri, D)
+        return self._direct.build(D)
+
+    # --- SCF loop -------------------------------------------------------------
+
+    def run(self, D0: np.ndarray | None = None) -> SCFResult:
+        """Iterate to self-consistency and return the result."""
+        S, hcore = self._setup()
+        nocc = self.mol.nelectron // 2
+        if nocc == 0:
+            raise ValueError("no electrons to correlate — check charge")
+        if D0 is None:
+            D, C, eps = core_guess(hcore, S, nocc)
+        else:
+            D, C, eps = D0.copy(), None, None
+        X = orthogonalizer(S)
+        enuc = nuclear_repulsion(self.mol)
+        diis = DIIS(self.diis_size)
+        energy = 0.0
+        ex_energy = 0.0
+        history: list[float] = []
+        converged = False
+        it = 0
+        for it in range(1, self.max_iter + 1):
+            J, K = self.build_jk(D)
+            F = hcore + J - 0.5 * K
+            e_el = 0.5 * float(np.einsum("pq,pq->", D, hcore + F))
+            energy = e_el + enuc
+            history.append(energy)
+            ex_energy = -0.25 * float(np.einsum("pq,pq->", K, D))
+            err = X.T @ (F @ D @ S - S @ D @ F) @ X
+            diis.push(F, err)
+            # a supplied D0 can have a vanishing commutator while being
+            # mis-normalized for this geometry; require at least one
+            # orbital update before trusting the convergence test
+            may_exit = D0 is None or it > 1
+            if may_exit and diis.error_norm() < self.conv_tol:
+                converged = True
+                break
+            Fd = diis.extrapolate()
+            D, C, eps = self._next_density(Fd, X, S, D, nocc)
+        # canonicalize against the final Fock matrix: the loop's C/eps
+        # lag one iteration behind (and are the bare core-guess values
+        # when convergence hits on iteration 1)
+        f = X.T @ F @ X
+        eps, Cp = np.linalg.eigh(f)
+        C = X @ Cp
+        return SCFResult(
+            energy=energy, energy_nuc=enuc, energy_electronic=energy - enuc,
+            converged=converged, niter=it, C=C, eps=eps, D=D,
+            F=hcore if it == 0 else F, S=S, hcore=hcore, basis=self.basis,
+            exchange_energy=ex_energy, history=history,
+        )
+
+
+def run_rhf(mol: Molecule, basis: str = "sto-3g", **kw) -> SCFResult:
+    """One-call RHF: build basis, iterate, return the result."""
+    return RHF(mol, basis, **kw).run()

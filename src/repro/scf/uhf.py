@@ -1,0 +1,192 @@
+"""Unrestricted Hartree-Fock for open-shell species.
+
+The lithium/air problem is full of radicals — superoxide O2^-, LiO2,
+atomic Li — and the paper's MD treats them spin-unrestricted.  This
+driver provides the same machinery as :class:`~repro.scf.rhf.RHF` for
+arbitrary spin multiplicities: separate alpha/beta Fock operators,
+commutator-DIIS on the stacked spin blocks, level shifting, and the
+spin-contamination diagnostic <S^2>.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..basis.basisset import BasisSet, build_basis
+from ..chem.molecule import Molecule, nuclear_repulsion
+from ..integrals import (eri_tensor, kinetic_matrix, nuclear_matrix,
+                         overlap_matrix)
+from .diis import DIIS
+from .fock import coulomb_from_tensor, exchange_from_tensor
+from .guess import orthogonalizer
+
+__all__ = ["UHFResult", "UHF", "run_uhf"]
+
+
+@dataclass
+class UHFResult:
+    """Converged (or best-effort) unrestricted SCF state."""
+
+    energy: float
+    energy_nuc: float
+    converged: bool
+    niter: int
+    C_a: np.ndarray
+    C_b: np.ndarray
+    eps_a: np.ndarray
+    eps_b: np.ndarray
+    D_a: np.ndarray
+    D_b: np.ndarray
+    S: np.ndarray
+    basis: BasisSet
+    nalpha: int
+    nbeta: int
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def D_total(self) -> np.ndarray:
+        """Total (spin-summed) density matrix."""
+        return self.D_a + self.D_b
+
+    @property
+    def spin_density(self) -> np.ndarray:
+        """Spin density matrix D_a - D_b."""
+        return self.D_a - self.D_b
+
+    def s_squared(self) -> float:
+        """<S^2> including the contamination term.
+
+        Exact value for a pure state: S(S+1) with S = (na - nb)/2.
+        """
+        na, nb = self.nalpha, self.nbeta
+        s = 0.5 * (na - nb)
+        exact = s * (s + 1.0)
+        # overlap of alpha and beta occupied orbitals
+        Sab = self.C_a[:, :na].T @ self.S @ self.C_b[:, :nb]
+        contamination = nb - float((Sab * Sab).sum())
+        return exact + contamination
+
+
+class UHF:
+    """Unrestricted Hartree-Fock driver (in-core ERIs).
+
+    Parameters mirror :class:`~repro.scf.rhf.RHF`; ``break_symmetry``
+    mixes the alpha HOMO/LUMO of the initial guess, which lets
+    singlet-biradical states escape the restricted solution.
+    """
+
+    def __init__(self, mol: Molecule, basis: str | BasisSet = "sto-3g",
+                 conv_tol: float = 1e-8, max_iter: int = 150,
+                 diis_size: int = 8, level_shift: float = 0.0,
+                 break_symmetry: bool = False):
+        nel = mol.nelectron
+        nunpaired = mol.multiplicity - 1
+        if (nel - nunpaired) % 2 != 0 or nunpaired > nel:
+            raise ValueError(
+                f"multiplicity {mol.multiplicity} is impossible for "
+                f"{nel} electrons")
+        self.mol = mol
+        self.basis = basis if isinstance(basis, BasisSet) \
+            else build_basis(mol, basis)
+        self.nalpha = (nel + nunpaired) // 2
+        self.nbeta = (nel - nunpaired) // 2
+        self.conv_tol = conv_tol
+        self.max_iter = max_iter
+        self.diis_size = diis_size
+        self.level_shift = level_shift
+        self.break_symmetry = break_symmetry
+
+    def run(self, D0: tuple[np.ndarray, np.ndarray] | None = None
+            ) -> UHFResult:
+        """Iterate the unrestricted SCF equations to self-consistency."""
+        S = overlap_matrix(self.basis)
+        hcore = kinetic_matrix(self.basis) + nuclear_matrix(self.basis)
+        eri = eri_tensor(self.basis)
+        X = orthogonalizer(S)
+        enuc = nuclear_repulsion(self.mol)
+        na, nb = self.nalpha, self.nbeta
+
+        def make_density(C, nocc):
+            return C[:, :nocc] @ C[:, :nocc].T
+
+        if D0 is not None:
+            Da, Db = D0[0].copy(), D0[1].copy()
+            Ca = Cb = None
+            eps_a = eps_b = None
+        else:
+            f = X.T @ hcore @ X
+            eps_a, Cp = np.linalg.eigh(f)
+            Ca = X @ Cp
+            Cb = Ca.copy()
+            eps_b = eps_a.copy()
+            if self.break_symmetry and na < Ca.shape[1]:
+                theta = 0.25 * np.pi / 2
+                h, l = Ca[:, na - 1].copy(), Ca[:, na].copy()
+                Ca[:, na - 1] = np.cos(theta) * h + np.sin(theta) * l
+                Ca[:, na] = -np.sin(theta) * h + np.cos(theta) * l
+            Da = make_density(Ca, na)
+            Db = make_density(Cb, nb)
+
+        diis = DIIS(self.diis_size)
+        nbf = self.basis.nbf
+        energy = 0.0
+        history: list[float] = []
+        converged = False
+        it = 0
+        for it in range(1, self.max_iter + 1):
+            Dt = Da + Db
+            J = coulomb_from_tensor(eri, Dt)
+            Ka = exchange_from_tensor(eri, Da)
+            Kb = exchange_from_tensor(eri, Db)
+            Fa = hcore + J - Ka
+            Fb = hcore + J - Kb
+            e_el = 0.5 * float(np.einsum("pq,pq->", Dt, hcore)
+                               + np.einsum("pq,pq->", Da, Fa)
+                               + np.einsum("pq,pq->", Db, Fb))
+            energy = e_el + enuc
+            history.append(energy)
+            err_a = X.T @ (Fa @ Da @ S - S @ Da @ Fa) @ X
+            err_b = X.T @ (Fb @ Db @ S - S @ Db @ Fb) @ X
+            err = np.vstack([err_a, err_b])
+            stacked = np.vstack([Fa, Fb])
+            diis.push(stacked, err)
+            may_exit = D0 is None or it > 1
+            if may_exit and diis.error_norm() < self.conv_tol:
+                converged = True
+                break
+            Fd = diis.extrapolate()
+            Fa_d, Fb_d = Fd[:nbf], Fd[nbf:]
+
+            def advance(F, D_old, nocc):
+                f = X.T @ F @ X
+                if self.level_shift > 0.0:
+                    proj = X.T @ S @ D_old @ S @ X
+                    f = f + self.level_shift * (np.eye(f.shape[0]) - proj)
+                eps, Cp = np.linalg.eigh(f)
+                C = X @ Cp
+                return make_density(C, nocc), C, eps
+
+            Da, Ca, eps_a = advance(Fa_d, Da, na)
+            Db, Cb, eps_b = advance(Fb_d, Db, nb)
+        # canonicalize against the final Fock matrices (the loop's
+        # orbitals lag one iteration behind; see RHF.run)
+        _, Ca, eps_a = self._final_orbitals(Fa, X)
+        _, Cb, eps_b = self._final_orbitals(Fb, X)
+        return UHFResult(
+            energy=energy, energy_nuc=enuc, converged=converged, niter=it,
+            C_a=Ca, C_b=Cb, eps_a=eps_a, eps_b=eps_b, D_a=Da, D_b=Db,
+            S=S, basis=self.basis, nalpha=na, nbeta=nb, history=history,
+        )
+
+    @staticmethod
+    def _final_orbitals(F, X):
+        f = X.T @ F @ X
+        eps, Cp = np.linalg.eigh(f)
+        return None, X @ Cp, eps
+
+
+def run_uhf(mol: Molecule, basis: str = "sto-3g", **kw) -> UHFResult:
+    """One-call UHF."""
+    return UHF(mol, basis, **kw).run()

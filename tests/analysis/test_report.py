@@ -1,0 +1,68 @@
+"""Tests for table/figure formatting."""
+
+import numpy as np
+
+from repro.analysis.ascii_fig import bar_chart, line_plot
+from repro.analysis.report import (format_seconds, format_si, format_table,
+                                   print_table)
+
+
+def test_format_si():
+    assert format_si(6291456) == "6.29M"
+    assert format_si(98304) == "98.3k"
+    assert format_si(1.5e12) == "1.5T"
+    assert format_si(12.0) == "12"
+
+
+def test_format_seconds():
+    assert format_seconds(0) == "0"
+    assert "ns" in format_seconds(5e-9)
+    assert "us" in format_seconds(3e-6)
+    assert "ms" in format_seconds(0.004)
+    assert format_seconds(2.5).endswith("s")
+    assert "h" in format_seconds(7200)
+
+
+def test_format_table_alignment():
+    out = format_table([[1, "abc", 2.5], [100, "d", 0.125]],
+                       headers=["n", "name", "t"], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert "-+-" in lines[2]
+    assert len(lines) == 5
+    # columns aligned: every row same width
+    assert len(lines[3]) == len(lines[4]) == len(lines[1])
+
+
+def test_print_table_smoke(capsys):
+    print_table([[1, 2]], headers=["a", "b"])
+    captured = capsys.readouterr()
+    assert "a" in captured.out and "1" in captured.out
+
+
+def test_line_plot_contains_markers_and_legend():
+    x = np.array([1, 10, 100])
+    y = np.array([1.0, 0.5, 0.25])
+    out = line_plot({"ours": (x, y), "baseline": (x, y * 2)},
+                    logx=True, title="scaling", xlabel="threads")
+    assert "scaling" in out
+    assert "*" in out and "+" in out
+    assert "ours" in out and "baseline" in out
+
+
+def test_line_plot_degenerate_ranges():
+    out = line_plot({"flat": (np.array([1.0, 1.0]), np.array([2.0, 2.0]))})
+    assert "|" in out
+
+
+def test_bar_chart():
+    out = bar_chart({"scheme": 1.0, "baseline": 10.0}, title="time",
+                    unit="s")
+    lines = out.splitlines()
+    assert lines[0] == "time"
+    assert lines[2].count("#") > lines[1].count("#")
+
+
+def test_bar_chart_empty():
+    assert bar_chart({}, title="t") == "t"

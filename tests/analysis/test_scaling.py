@@ -1,0 +1,58 @@
+"""Tests for scaling-law analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import (ScalingSeries, amdahl_time, efficiency,
+                                    fit_amdahl, max_threads_at_efficiency,
+                                    speedup)
+
+
+def test_amdahl_limits():
+    p = np.array([1, 1e9])
+    t = amdahl_time(p, t1=100.0, serial_fraction=0.01)
+    assert np.isclose(t[0], 100.0)
+    assert np.isclose(t[1], 1.0, rtol=1e-3)   # serial floor
+
+
+def test_fit_recovers_parameters():
+    p = np.array([1, 2, 4, 8, 16, 64, 256])
+    t = amdahl_time(p, t1=42.0, serial_fraction=0.03)
+    t1, s = fit_amdahl(p, t)
+    assert np.isclose(t1, 42.0, rtol=1e-6)
+    assert np.isclose(s, 0.03, atol=1e-6)
+
+
+def test_speedup_and_efficiency_perfect():
+    p = np.array([1, 2, 4])
+    t = np.array([8.0, 4.0, 2.0])
+    assert np.allclose(speedup(p, t), [1, 2, 4])
+    assert np.allclose(efficiency(p, t), 1.0)
+
+
+def test_efficiency_uses_smallest_as_reference():
+    p = np.array([4, 1, 2])   # unordered input
+    t = np.array([2.0, 8.0, 4.0])
+    assert np.allclose(efficiency(p, t), 1.0)
+
+
+def test_max_threads_at_efficiency_interpolates():
+    p = np.array([1, 2, 4, 8])
+    # efficiency: 1, 1, 0.75, 0.25 -> crosses 0.5 between 4 and 8
+    t = np.array([8.0, 4.0, 8.0 / 3.0, 4.0])
+    n = max_threads_at_efficiency(p, t, target=0.5)
+    assert 4 < n < 8
+
+
+def test_max_threads_all_above():
+    p = np.array([1, 2, 4])
+    t = np.array([4.0, 2.0, 1.0])
+    assert max_threads_at_efficiency(p, t, 0.9) == 4
+
+
+def test_scaling_series():
+    s = ScalingSeries("x", np.array([1, 2, 4]), np.array([4.0, 2.1, 1.2]))
+    assert len(s.efficiency()) == 3
+    assert s.scalability(0.5) >= 4
+    with pytest.raises(ValueError):
+        ScalingSeries("bad", np.array([1, 2]), np.array([1.0]))

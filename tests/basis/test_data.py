@@ -1,0 +1,63 @@
+"""Tests on the built-in basis-set data tables themselves."""
+
+import numpy as np
+import pytest
+
+from repro.basis.data import BASIS_LIBRARY, STO3G, SV321G
+
+
+def test_sto3g_covers_the_chemistry():
+    for sym in ("H", "Li", "C", "N", "O", "S"):
+        assert sym in STO3G, sym
+
+
+def test_every_shell_has_three_primitives_sto3g():
+    for sym, shells in STO3G.items():
+        for shell_type, exps, coefs in shells:
+            assert len(exps) == 3, (sym, shell_type)
+            for l, c in coefs.items():
+                assert len(c) == 3
+
+
+def test_exponents_positive_descending():
+    for table in (STO3G, SV321G):
+        for sym, shells in table.items():
+            for _, exps, _ in shells:
+                assert all(e > 0 for e in exps), sym
+                assert list(exps) == sorted(exps, reverse=True), sym
+
+
+def test_sp_shells_have_both_columns():
+    for sym, shells in STO3G.items():
+        for shell_type, _, coefs in shells:
+            if shell_type == "SP":
+                assert set(coefs) == {0, 1}, sym
+            else:
+                assert set(coefs) == {0}, sym
+
+
+def test_core_exponents_grow_with_z():
+    """The tightest 1s exponent tracks nuclear charge."""
+    order = ["H", "Li", "C", "N", "O", "S"]
+    tight = [STO3G[s][0][1][0] for s in order]
+    assert all(a < b for a, b in zip(tight, tight[1:]))
+
+
+def test_library_aliases():
+    assert BASIS_LIBRARY["sv"] is BASIS_LIBRARY["3-21g"]
+    assert "sto-3g" in BASIS_LIBRARY
+
+
+def test_sv_has_split_valence_structure():
+    """SV: the valence is split into >= 2 shells of the same type."""
+    for sym in ("H", "O", "C"):
+        shells = SV321G[sym]
+        assert len(shells) >= 2, sym
+
+
+def test_canonical_sto3g_hydrogen_values():
+    """The H exponents/coefficients are the canonical published ones."""
+    (stype, exps, coefs), = STO3G["H"]
+    assert stype == "S"
+    assert np.isclose(exps[0], 3.425250914, rtol=1e-9)
+    assert np.isclose(coefs[0][0], 0.1543289673, rtol=1e-9)

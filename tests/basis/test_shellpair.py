@@ -1,0 +1,74 @@
+"""Tests for shell-pair expansion and prescreening."""
+
+import numpy as np
+
+from repro.basis import build_basis, build_shell_pairs
+from repro.basis.shellpair import ShellPair
+from repro.chem import builders
+
+
+def test_pair_count_upper_triangle(water_basis):
+    pairs = build_shell_pairs(water_basis.shells)
+    n = water_basis.nshell
+    assert len(pairs) == n * (n + 1) // 2
+    for (i, j) in pairs:
+        assert i <= j
+
+
+def test_primitive_pair_expansion(h2_basis):
+    pair = build_shell_pairs(h2_basis.shells)[(0, 1)]
+    assert pair.nprim == 9  # 3x3 primitives
+    assert np.allclose(pair.p, pair.a + pair.b)
+
+
+def test_product_center_between_atoms(h2_basis):
+    pair = build_shell_pairs(h2_basis.shells)[(0, 1)]
+    A = h2_basis.shells[0].center
+    B = h2_basis.shells[1].center
+    # each product center lies on the A-B segment
+    for P in pair.P:
+        t = (P - A) @ (B - A) / ((B - A) @ (B - A))
+        assert -1e-12 <= t <= 1.0 + 1e-12
+
+
+def test_overlap_prescreen_drops_distant_pairs():
+    # two H atoms 60 Bohr apart: the cross pair must be dropped
+    m = builders.h2(r=60.0 * 0.529177)
+    b = build_basis(m)
+    pairs = build_shell_pairs(b.shells, threshold=1e-12)
+    assert (0, 1) not in pairs
+    assert (0, 0) in pairs and (1, 1) in pairs
+
+
+def test_no_prescreen_keeps_all():
+    m = builders.h2(r=60.0 * 0.529177)
+    b = build_basis(m)
+    pairs = build_shell_pairs(b.shells, threshold=0.0)
+    assert (0, 1) in pairs
+
+
+def test_hermite_lambda_shapes(water_basis):
+    pairs = build_shell_pairs(water_basis.shells)
+    # s-p pair: O 2p shell is index 2
+    sp = pairs[(0, 2)]
+    idx, lam = sp.hermite_lambda()
+    assert lam.shape[0] == 1 and lam.shape[1] == 3
+    assert lam.shape[2] == len(idx)
+    assert lam.shape[3] == sp.nprim
+    # all Hermite orders within bounds
+    assert np.all(idx.sum(axis=1) <= sp.lab)
+
+
+def test_hermite_lambda_cached(water_basis):
+    pairs = build_shell_pairs(water_basis.shells)
+    pair = pairs[(0, 1)]
+    idx1, lam1 = pair.hermite_lambda()
+    idx2, lam2 = pair.hermite_lambda()
+    assert idx1 is idx2 and lam1 is lam2
+
+
+def test_symmetric_pair_self():
+    sh = build_basis(builders.h2()).shells[0]
+    pair = ShellPair(sh, sh, 0, 0)
+    # the product of a shell with itself is centered on the shell
+    assert np.allclose(pair.P, sh.center[None, :])

@@ -1,0 +1,117 @@
+"""Tests for the geometry builders."""
+
+import numpy as np
+import pytest
+
+from repro.chem import builders
+from repro.constants import ANGSTROM_PER_BOHR
+
+
+def test_water_geometry():
+    m = builders.water()
+    assert m.symbols == ("O", "H", "H")
+    roh = m.distance(0, 1) * ANGSTROM_PER_BOHR
+    assert np.isclose(roh, 0.9572, atol=1e-4)
+    # HOH angle
+    a = m.coords[1] - m.coords[0]
+    b = m.coords[2] - m.coords[0]
+    ang = np.degrees(np.arccos(a @ b / np.linalg.norm(a) / np.linalg.norm(b)))
+    assert np.isclose(ang, 104.52, atol=0.01)
+
+
+def test_water_dimer_oo_distance():
+    m = builders.water_dimer(roo=2.98)
+    assert m.natom == 6
+    roo = m.distance(0, 3) * ANGSTROM_PER_BOHR
+    assert np.isclose(roo, 2.98, atol=1e-6)
+
+
+def test_propylene_carbonate_composition():
+    m = builders.propylene_carbonate()
+    from collections import Counter
+    c = Counter(m.symbols)
+    assert c == {"C": 4, "H": 6, "O": 3}
+    assert m.nelectron % 2 == 0
+
+
+def test_dmso_composition():
+    from collections import Counter
+    c = Counter(builders.dmso().symbols)
+    assert c == {"C": 2, "H": 6, "S": 1, "O": 1}
+
+
+def test_li2o2_rhombus():
+    m = builders.li2o2()
+    # O-O bond ~1.55 A, both Li equidistant from both O
+    doo = m.distance(0, 1) * ANGSTROM_PER_BOHR
+    assert np.isclose(doo, 1.55, atol=1e-6)
+    assert np.isclose(m.distance(0, 2), m.distance(1, 2))
+    assert np.isclose(m.distance(0, 2), m.distance(0, 3))
+
+
+def test_peroxide_dianion_charge():
+    m = builders.peroxide_dianion()
+    assert m.charge == -2
+    assert m.nelectron == 18  # closed shell
+
+
+def test_model_fragments_closed_shell():
+    for b in (builders.carbonate_model, builders.sulfoxide_model,
+              builders.nitrile_model):
+        assert b().nelectron % 2 == 0
+
+
+def test_water_cluster_count():
+    m = builders.water_cluster(5)
+    assert m.natom == 15
+    assert m.symbols.count("O") == 5
+
+
+def test_water_cluster_no_overlaps():
+    m = builders.water_cluster(8, seed=3)
+    d = m.distance_matrix()
+    np.fill_diagonal(d, np.inf)
+    assert d.min() > 1.0  # Bohr; nothing fused
+
+
+def test_water_box_density():
+    mol, cell = builders.water_box(27)
+    # 27 waters at 0.997 g/cc: volume ~ 27 * 29.9 A^3
+    vol_a3 = cell.volume * ANGSTROM_PER_BOHR ** 3
+    assert np.isclose(vol_a3, 27 * 29.97, rtol=0.02)
+    assert mol.natom == 81
+
+
+def test_water_box_deterministic():
+    m1, _ = builders.water_box(8, seed=7)
+    m2, _ = builders.water_box(8, seed=7)
+    assert np.allclose(m1.coords, m2.coords)
+    m3, _ = builders.water_box(8, seed=8)
+    assert not np.allclose(m1.coords, m3.coords)
+
+
+def test_electrolyte_box_contents():
+    mol, cell = builders.electrolyte_box("PC", n_solvent=4)
+    # 4 PC molecules (13 atoms) + Li2O2 (4 atoms)
+    assert mol.natom == 4 * 13 + 4
+    assert "Li" in mol.symbols
+    assert cell.volume > 0
+
+
+def test_electrolyte_box_without_peroxide():
+    mol, _ = builders.electrolyte_box("DMSO", n_solvent=2,
+                                      with_peroxide=False)
+    assert mol.natom == 2 * 10
+    assert "Li" not in mol.symbols
+
+
+def test_electrolyte_box_unknown_solvent():
+    with pytest.raises(ValueError):
+        builders.electrolyte_box("XYZ")
+
+
+def test_replicate_on_lattice_count_and_cell():
+    mol, cell = builders.replicate_on_lattice(builders.water(), (2, 2, 2),
+                                              spacing_bohr=6.0)
+    assert mol.natom == 8 * 3
+    assert np.isclose(cell.lengths[0], 12.0)

@@ -1,0 +1,55 @@
+"""Tests for the periodic-table data."""
+
+import pytest
+
+from repro.chem.elements import (ELEMENTS, atomic_number, covalent_radius_bohr,
+                                 element, mass_amu)
+
+
+def test_lookup_by_number():
+    assert element(8).symbol == "O"
+    assert element(3).symbol == "Li"
+
+
+def test_lookup_by_symbol_case_insensitive():
+    assert element("O").z == 8
+    assert element("o").z == 8
+    assert element("li").z == 3
+    assert element("LI").z == 3
+
+
+def test_atomic_number():
+    assert atomic_number("S") == 16
+    assert atomic_number("H") == 1
+
+
+def test_masses_reasonable():
+    assert 0.9 < mass_amu("H") < 1.1
+    assert 15.5 < mass_amu("O") < 16.5
+    assert 6.5 < mass_amu("Li") < 7.5
+
+
+def test_covalent_radius_in_bohr():
+    # oxygen: 0.66 Angstrom ~ 1.25 Bohr
+    r = covalent_radius_bohr("O")
+    assert 1.1 < r < 1.4
+
+
+def test_unknown_element_raises():
+    with pytest.raises(KeyError):
+        element("Xx")
+    with pytest.raises(KeyError):
+        element(999)
+
+
+def test_battery_chemistry_elements_present():
+    # every element the lithium/air study touches
+    for sym in ("H", "Li", "C", "N", "O", "S"):
+        assert sym in {e.symbol for e in ELEMENTS.values()}
+
+
+def test_element_records_consistent():
+    for z, e in ELEMENTS.items():
+        assert e.z == z
+        assert e.mass > 0
+        assert e.covalent_radius > 0

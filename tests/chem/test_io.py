@@ -1,0 +1,45 @@
+"""Tests for XYZ file I/O."""
+
+import numpy as np
+
+from repro.chem import builders
+from repro.chem.io import (read_xyz, read_xyz_trajectory, write_xyz,
+                           write_xyz_trajectory)
+
+
+def test_write_read_roundtrip(tmp_path):
+    m = builders.water_dimer()
+    path = tmp_path / "dimer.xyz"
+    write_xyz(path, m)
+    m2 = read_xyz(path)
+    assert m2.symbols == m.symbols
+    assert np.allclose(m2.coords, m.coords, atol=1e-6)
+
+
+def test_read_with_charge(tmp_path):
+    m = builders.peroxide_dianion()
+    path = tmp_path / "perox.xyz"
+    write_xyz(path, m)
+    m2 = read_xyz(path, charge=-2)
+    assert m2.charge == -2
+    assert m2.nelectron == 18
+
+
+def test_trajectory_roundtrip(tmp_path):
+    frames = [builders.water().translated(np.array([0.0, 0.0, float(i)]))
+              for i in range(4)]
+    path = tmp_path / "traj.xyz"
+    write_xyz_trajectory(path, frames)
+    back = read_xyz_trajectory(path)
+    assert len(back) == 4
+    for a, b in zip(frames, back):
+        assert np.allclose(a.coords, b.coords, atol=1e-6)
+
+
+def test_trajectory_handles_blank_lines(tmp_path):
+    m = builders.h2()
+    text = m.to_xyz_string() + "\n" + m.to_xyz_string()
+    path = tmp_path / "t.xyz"
+    path.write_text(text)
+    frames = read_xyz_trajectory(path)
+    assert len(frames) == 2

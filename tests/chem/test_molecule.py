@@ -1,0 +1,107 @@
+"""Tests for the Molecule container and geometry operations."""
+
+import numpy as np
+import pytest
+
+from repro.chem import builders
+from repro.chem.molecule import Molecule, nuclear_repulsion
+from repro.constants import BOHR_PER_ANGSTROM
+
+
+def test_from_symbols_converts_angstrom():
+    m = Molecule.from_symbols(["H", "H"], [[0, 0, 0], [0, 0, 1.0]])
+    assert np.isclose(m.distance(0, 1), BOHR_PER_ANGSTROM)
+
+
+def test_nelectron_accounts_for_charge():
+    assert builders.water().nelectron == 10
+    assert builders.heh_plus().nelectron == 2
+    m = Molecule.from_symbols(["O", "O"], [[0, 0, 0], [0, 0, 1.49]], charge=-2)
+    assert m.nelectron == 18
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        Molecule(np.array([1, 1]), np.zeros((2, 2)))
+    with pytest.raises(ValueError):
+        Molecule(np.array([1]), np.zeros((2, 3)))
+    with pytest.raises(ValueError):
+        Molecule(np.array([1]), np.zeros((1, 3)), multiplicity=0)
+
+
+def test_distance_matrix_symmetric_zero_diag():
+    m = builders.water()
+    d = m.distance_matrix()
+    assert np.allclose(d, d.T)
+    assert np.allclose(np.diag(d), 0.0)
+    assert d[0, 1] > 0
+
+
+def test_center_of_mass_near_oxygen_for_water():
+    m = builders.water()
+    com = m.center_of_mass()
+    # O dominates the mass; COM within 0.2 Bohr of the O position
+    assert np.linalg.norm(com - m.coords[0]) < 0.2
+
+
+def test_translation_preserves_distances():
+    m = builders.water()
+    t = m.translated(np.array([1.0, -2.0, 3.0]))
+    assert np.allclose(m.distance_matrix(), t.distance_matrix())
+
+
+def test_rotation_preserves_distances():
+    m = builders.water_dimer()
+    r = m.rotated(np.array([1.0, 2.0, 3.0]), 0.7)
+    assert np.allclose(m.distance_matrix(), r.distance_matrix(), atol=1e-12)
+
+
+def test_add_concatenates_and_adds_charges():
+    a = builders.water()
+    b = builders.heh_plus()
+    c = a + b
+    assert c.natom == 5
+    assert c.charge == 1
+    assert c.nelectron == a.nelectron + b.nelectron
+
+
+def test_xyz_roundtrip():
+    m = builders.water_dimer()
+    text = m.to_xyz_string()
+    m2 = Molecule.from_xyz_string(text)
+    assert m2.natom == m.natom
+    assert np.allclose(m2.coords, m.coords, atol=1e-6)
+    assert m2.symbols == m.symbols
+
+
+def test_xyz_header_mismatch_raises():
+    bad = "3\ncomment\nH 0 0 0\nH 0 0 1\n"
+    with pytest.raises(ValueError):
+        Molecule.from_xyz_string(bad)
+
+
+def test_nuclear_repulsion_h2():
+    # Z=1 pair at r: E = 1/r
+    m = builders.h2()
+    r = m.distance(0, 1)
+    assert np.isclose(nuclear_repulsion(m), 1.0 / r)
+
+
+def test_nuclear_repulsion_scaling():
+    m1 = builders.h2(0.74)
+    m2 = builders.h2(1.48)
+    assert np.isclose(nuclear_repulsion(m1), 2 * nuclear_repulsion(m2))
+
+
+def test_with_coords_replaces_geometry():
+    m = builders.water()
+    new = m.coords + 1.0
+    m2 = m.with_coords(new)
+    assert np.allclose(m2.coords, new)
+    assert m2.nelectron == m.nelectron
+
+
+def test_masses_in_electron_units():
+    m = builders.h2()
+    # proton ~1836 electron masses (H atom slightly more)
+    assert 1700 < m.masses[0] < 2000

@@ -1,0 +1,63 @@
+"""Tests for periodic cells and minimum image."""
+
+import numpy as np
+import pytest
+
+from repro.chem.pbc import Cell, minimum_image, wrap_positions
+
+
+def test_cubic_cell_volume():
+    c = Cell.cubic(10.0)
+    assert np.isclose(c.volume, 1000.0)
+    assert c.is_orthorhombic
+
+
+def test_orthorhombic_lengths():
+    c = Cell.orthorhombic(2.0, 3.0, 4.0)
+    assert np.allclose(c.lengths, [2.0, 3.0, 4.0])
+    assert np.isclose(c.volume, 24.0)
+
+
+def test_singular_cell_rejected():
+    with pytest.raises(ValueError):
+        Cell(np.zeros((3, 3)))
+    with pytest.raises(ValueError):
+        Cell(np.ones((2, 3)))
+
+
+def test_fractional_roundtrip():
+    c = Cell.orthorhombic(5.0, 7.0, 9.0)
+    x = np.array([[1.0, 2.0, 3.0], [-4.0, 8.0, 0.5]])
+    assert np.allclose(c.to_cartesian(c.to_fractional(x)), x)
+
+
+def test_wrap_positions_into_home_cell():
+    c = Cell.cubic(10.0)
+    x = np.array([[12.0, -3.0, 5.0]])
+    w = wrap_positions(x, c)
+    assert np.all(w >= 0.0) and np.all(w < 10.0)
+    assert np.allclose(w, [[2.0, 7.0, 5.0]])
+
+
+def test_minimum_image_shorter_than_half_cell():
+    c = Cell.cubic(10.0)
+    d = np.array([[9.0, 0.0, 0.0]])
+    mi = minimum_image(d, c)
+    assert np.allclose(mi, [[-1.0, 0.0, 0.0]])
+
+
+def test_minimum_image_identity_for_short_vectors():
+    c = Cell.cubic(10.0)
+    d = np.array([[1.0, -2.0, 3.0]])
+    assert np.allclose(minimum_image(d, c), d)
+
+
+def test_minimum_image_norm_bound():
+    c = Cell.orthorhombic(6.0, 8.0, 10.0)
+    rng = np.random.default_rng(0)
+    d = rng.uniform(-30, 30, size=(100, 3))
+    mi = minimum_image(d, c)
+    # every component at most half the corresponding cell edge
+    assert np.all(np.abs(mi[:, 0]) <= 3.0 + 1e-9)
+    assert np.all(np.abs(mi[:, 1]) <= 4.0 + 1e-9)
+    assert np.all(np.abs(mi[:, 2]) <= 5.0 + 1e-9)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite.
+
+Session-scoped fixtures cache the expensive objects (bases, ERI
+tensors, converged SCFs) so the suite stays fast while every module
+gets exercised against real data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.basis import build_basis
+from repro.chem import builders
+from repro.integrals import eri_tensor
+from repro.scf import run_rhf
+
+
+@pytest.fixture(scope="session")
+def h2():
+    return builders.h2()
+
+
+@pytest.fixture(scope="session")
+def water():
+    return builders.water()
+
+
+@pytest.fixture(scope="session")
+def h2_basis(h2):
+    return build_basis(h2)
+
+
+@pytest.fixture(scope="session")
+def water_basis(water):
+    return build_basis(water)
+
+
+@pytest.fixture(scope="session")
+def water_eri(water_basis):
+    return eri_tensor(water_basis)
+
+
+@pytest.fixture(scope="session")
+def water_rhf(water):
+    return run_rhf(water)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)

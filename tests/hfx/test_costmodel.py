@@ -1,0 +1,64 @@
+"""Tests for the quartet cost model."""
+
+import time
+
+import numpy as np
+
+from repro.basis import build_basis
+from repro.basis.shellpair import build_shell_pairs
+from repro.chem import builders
+from repro.hfx.costmodel import pair_weight, quartet_flops
+from repro.integrals.eri import eri_quartet
+
+
+def test_flops_positive_and_grow_with_l():
+    ssss = quartet_flops(0, 0, 0, 0, 9, 9)
+    pppp = quartet_flops(1, 1, 1, 1, 9, 9)
+    assert 0 < ssss < pppp
+
+
+def test_flops_linear_in_primitive_count():
+    a = quartet_flops(0, 1, 0, 1, 9, 9)
+    b = quartet_flops(0, 1, 0, 1, 18, 9)
+    assert np.isclose(b / a, 2.0)
+
+
+def test_flops_symmetric_bra_ket():
+    assert np.isclose(quartet_flops(0, 1, 1, 1, 3, 9),
+                      quartet_flops(1, 1, 0, 1, 9, 3))
+
+
+def test_separable_weight_tracks_exact_within_factor():
+    """pair_weight(bra) * pair_weight(ket) must track quartet_flops
+    within a bounded factor over the s/p quartet classes (the synthetic
+    generator relies on this)."""
+    ratios = []
+    for la, lb, np_ab in ((0, 0, 9), (0, 1, 9), (1, 1, 9), (0, 0, 3)):
+        for lc, ld, np_cd in ((0, 0, 9), (0, 1, 9), (1, 1, 9)):
+            exact = quartet_flops(la, lb, lc, ld, np_ab, np_cd)
+            sep = pair_weight(la + lb, np_ab) * pair_weight(lc + ld, np_cd)
+            ratios.append(sep / exact)
+    ratios = np.asarray(ratios)
+    # all within a ~4x band of each other (the constant factor cancels
+    # in load balancing; the band is what distorts relative costs)
+    assert ratios.max() / ratios.min() < 4.5
+
+
+def test_cost_model_correlates_with_measured_kernel_time(water_basis):
+    """Predicted flops must rank-order the real kernel times."""
+    pairs = build_shell_pairs(water_basis.shells)
+    shells = water_basis.shells
+    cases = [((0, 0), (0, 0)), ((0, 2), (0, 2)), ((2, 2), (2, 2))]
+    preds, times = [], []
+    for (i, j), (k, l) in cases:
+        bra, ket = pairs[(i, j)], pairs[(k, l)]
+        eri_quartet(bra, ket)  # warm caches
+        t0 = time.perf_counter()
+        for _ in range(20):
+            eri_quartet(bra, ket)
+        times.append(time.perf_counter() - t0)
+        preds.append(quartet_flops(shells[i].l, shells[j].l,
+                                   shells[k].l, shells[l].l,
+                                   bra.nprim, ket.nprim))
+    # same ordering: ssss < sspp-ish < pppp
+    assert np.argsort(preds).tolist() == np.argsort(times).tolist()

@@ -1,0 +1,82 @@
+"""Tests for incremental (density-difference) exchange builds."""
+
+import numpy as np
+import pytest
+
+from repro.basis import build_basis
+from repro.chem import builders
+from repro.hfx.incremental import IncrementalExchange, incremental_survival
+from repro.scf import DirectJKBuilder, RHF
+
+
+@pytest.fixture(scope="module")
+def water_scf_sequence():
+    """A converging density sequence: the core-guess density approaches
+    the converged one geometrically (what a DIIS-accelerated SCF
+    produces, made deterministic for the test)."""
+    mol = builders.water()
+    res = RHF(mol, conv_tol=1e-10).run()
+    from repro.scf.guess import core_guess
+
+    D0, _, _ = core_guess(res.hcore, res.S, 5)
+    dD = D0 - res.D
+    densities = [res.D + dD * (0.1 ** k) for k in range(9)]
+    return res.basis, densities
+
+
+def test_incremental_matches_direct(water_scf_sequence):
+    basis, densities = water_scf_sequence
+    inc = IncrementalExchange(basis, eps=1e-12)
+    direct = DirectJKBuilder(basis, eps=1e-14)
+    for D in densities:
+        K_inc = inc.update(D)
+        _, K_ref = direct.build(D, want_j=False)
+        assert np.abs(K_inc - K_ref).max() < 1e-8
+
+
+def test_incremental_skips_work_late_in_scf(water_scf_sequence):
+    basis, densities = water_scf_sequence
+    inc = IncrementalExchange(basis, eps=1e-7, rebuild_every=100)
+    counts = []
+    for D in densities:
+        inc.update(D)
+        counts.append(inc.last_quartets)
+    # late iterations (tiny dD) must compute far fewer quartets
+    assert counts[-1] < counts[0] / 2
+    assert inc.savings > 0.05
+
+
+def test_rebuild_resets_reference(water_scf_sequence):
+    basis, densities = water_scf_sequence
+    inc = IncrementalExchange(basis, eps=1e-9, rebuild_every=2)
+    for D in densities[:4]:
+        inc.update(D)
+    # build 0 and 2 are full rebuilds
+    assert inc.builds == 4
+
+
+def test_incremental_bounded_error_loose_eps(water_scf_sequence):
+    basis, densities = water_scf_sequence
+    inc = IncrementalExchange(basis, eps=1e-5, rebuild_every=3)
+    direct = DirectJKBuilder(basis, eps=1e-14)
+    for D in densities:
+        K_inc = inc.update(D)
+    _, K_ref = direct.build(densities[-1], want_j=False)
+    assert np.abs(K_inc - K_ref).max() < 1e-3
+
+
+def test_survival_model_monotone_in_delta():
+    q = np.geomspace(1e-6, 1.0, 200)
+    s_big, tot = incremental_survival(q, eps=1e-8, delta=1.0)
+    s_small, _ = incremental_survival(q, eps=1e-8, delta=1e-4)
+    assert s_small < s_big <= tot
+
+
+def test_survival_model_limits():
+    q = np.array([1.0, 0.5])
+    s, tot = incremental_survival(q, eps=1e-12, delta=1.0)
+    assert s == tot == 3
+    s, _ = incremental_survival(q, eps=10.0, delta=1e-9)
+    assert s == 0
+    s, tot = incremental_survival(q, eps=1e-8, delta=0.0)
+    assert s == 0

@@ -1,0 +1,96 @@
+"""Tests for HFX task-list construction and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.basis import build_basis
+from repro.chem import builders
+from repro.hfx.tasklist import TaskList, build_tasklist
+
+
+@pytest.fixture(scope="module")
+def water_tasks(request):
+    b = build_basis(builders.water())
+    return build_tasklist(b, eps=1e-12)
+
+
+def test_unique_quartets_covered_exactly_once(water_tasks):
+    """The union of (bra, ket) pairs across tasks must equal the set of
+    unique shell quartets (q-ordering convention)."""
+    seen = set()
+    for t in range(water_tasks.ntasks):
+        bra = tuple(water_tasks.pair_index[t])
+        for ket in water_tasks.ket_lists[t]:
+            key = frozenset([bra, tuple(ket)]) if bra != tuple(ket) \
+                else frozenset([bra])
+            quartet = (bra, tuple(ket))
+            assert quartet not in seen
+            seen.add(quartet)
+    # water: 5 shells -> 15 pairs -> 120 unique pair-of-pairs
+    assert len(seen) == 120
+
+
+def test_quartet_count_consistency(water_tasks):
+    assert water_tasks.total_quartets == 120
+    assert water_tasks.ntasks == 15
+
+
+def test_tighter_eps_keeps_more(water_tasks):
+    b = build_basis(builders.water_cluster(2, seed=0))
+    loose = build_tasklist(b, eps=1e-4)
+    tight = build_tasklist(b, eps=1e-10)
+    assert loose.total_quartets < tight.total_quartets
+
+
+def test_costs_positive(water_tasks):
+    assert np.all(water_tasks.flops > 0)
+    assert np.all(water_tasks.nquartets > 0)
+
+
+def test_summary_fields(water_tasks):
+    s = water_tasks.summary()
+    assert s["ntasks"] == 15
+    assert s["total_quartets"] == 120
+    assert s["total_gflops"] > 0
+
+
+def test_split_conserves_totals(water_tasks):
+    grain = water_tasks.flops.max() / 3
+    split = water_tasks.split(grain)
+    assert split.ntasks > water_tasks.ntasks
+    assert np.isclose(split.total_flops, water_tasks.total_flops)
+    assert split.total_quartets == water_tasks.total_quartets
+
+
+def test_split_respects_grain(water_tasks):
+    grain = water_tasks.flops.max() / 4
+    split = water_tasks.split(grain)
+    # a subtask exceeding the grain must be a single unsplittable quartet
+    over = split.flops > grain * 1.0001
+    assert np.all(split.nquartets[over] == 1)
+
+
+def test_split_ket_lists_partitioned(water_tasks):
+    grain = water_tasks.flops.max() / 2
+    split = water_tasks.split(grain)
+    assert split.ket_lists is not None
+    total_kets = sum(len(k) for k in split.ket_lists)
+    assert total_kets == water_tasks.total_quartets
+
+
+def test_split_never_below_quartet(water_tasks):
+    split = water_tasks.split(1e-30)  # absurdly fine grain
+    assert np.all(split.nquartets >= 1)
+    assert split.total_quartets == water_tasks.total_quartets
+
+
+def test_split_invalid_grain(water_tasks):
+    with pytest.raises(ValueError):
+        water_tasks.split(0.0)
+
+
+def test_mismatched_arrays_rejected():
+    with pytest.raises(ValueError):
+        TaskList(pair_index=np.zeros((2, 2), dtype=int),
+                 flops=np.ones(2), nquartets=np.ones(3, dtype=int),
+                 eps=1e-8)

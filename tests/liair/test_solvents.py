@@ -1,0 +1,58 @@
+"""Tests for the solvent library."""
+
+import numpy as np
+import pytest
+
+from repro.liair.solvents import SOLVENTS, get_solvent
+
+
+def test_all_three_candidates_present():
+    assert set(SOLVENTS) == {"PC", "DMSO", "ACN"}
+
+
+def test_lookup_case_insensitive():
+    assert get_solvent("pc").name == "PC"
+    assert get_solvent("Dmso").name == "DMSO"
+
+
+def test_unknown_solvent():
+    with pytest.raises(ValueError):
+        get_solvent("THF")
+
+
+def test_models_are_scf_feasible():
+    """Model fragments: small, closed-shell, basis available."""
+    from repro.basis import build_basis
+
+    for sv in SOLVENTS.values():
+        frag = sv.build_model()
+        assert frag.natom <= 8
+        assert frag.nelectron % 2 == 0
+        b = build_basis(frag)
+        assert b.nbf < 30
+
+
+def test_attack_atom_is_electrophilic_center():
+    pc = get_solvent("PC")
+    frag = pc.build_model()
+    assert frag.symbols[pc.attack_atom] == "C"   # carbonyl carbon
+    dmso = get_solvent("DMSO")
+    assert dmso.build_model().symbols[dmso.attack_atom] == "S"
+    acn = get_solvent("ACN")
+    assert acn.build_model().symbols[acn.attack_atom] == "C"
+
+
+def test_attack_vector_normalized():
+    for sv in SOLVENTS.values():
+        v = sv.attack_vector()
+        assert np.isclose(np.linalg.norm(v), 1.0)
+
+
+def test_full_molecules_larger_than_models():
+    for sv in SOLVENTS.values():
+        assert sv.build_molecule().natom > sv.build_model().natom
+
+
+def test_paper_roles_documented():
+    for sv in SOLVENTS.values():
+        assert len(sv.paper_role) > 10

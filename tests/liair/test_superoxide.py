@@ -1,0 +1,41 @@
+"""Tests for the open-shell (superoxide) attack pathway."""
+
+import numpy as np
+import pytest
+
+from repro.chem import builders
+from repro.liair.superoxide import (SuperoxideProfile, _complex,
+                                    superoxide_profile)
+from repro.liair.solvents import get_solvent
+
+
+def test_complex_is_doublet():
+    cplx = _complex(get_solvent("PC"), 3.0)
+    assert cplx.charge == -1
+    assert cplx.multiplicity == 2
+    assert cplx.nelectron % 2 == 1
+
+
+def test_complex_leading_oxygen_distance():
+    sv = get_solvent("DMSO")
+    d = 2.8
+    cplx = _complex(sv, d)
+    frag_n = sv.build_model().natom
+    site = cplx.coords[sv.attack_atom]
+    o_dists = np.linalg.norm(cplx.coords[frag_n:frag_n + 2] - site, axis=1)
+    assert np.isclose(o_dists.min(), d / 0.529177210903, atol=1e-6)
+
+
+def test_profile_dataclass_descriptors():
+    p = SuperoxideProfile("X", np.array([4.0, 3.0, 2.2]),
+                          np.array([0.0, -0.001, 0.004]))
+    assert p.well_depth_kcal < 0
+    assert p.attack_energy_kcal > 0
+
+
+def test_nitrile_profile_runs_uhf():
+    """The smallest fragment end-to-end: a real UHF approach profile."""
+    p = superoxide_profile("ACN", distances_angstrom=[4.0, 3.0])
+    assert p.energies[0] == 0.0
+    assert len(p.energies) == 2
+    assert np.isfinite(p.energies).all()

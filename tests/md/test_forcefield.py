@@ -1,0 +1,112 @@
+"""Tests for the classical force field."""
+
+import numpy as np
+
+from repro.chem import builders
+from repro.chem.pbc import Cell
+from repro.md.forcefield import ForceField, detect_angles, detect_bonds
+
+
+def test_bond_detection_water():
+    bonds = detect_bonds(builders.water())
+    assert sorted(bonds) == [(0, 1), (0, 2)]
+
+
+def test_angle_detection_water():
+    bonds = detect_bonds(builders.water())
+    angles = detect_angles(bonds)
+    assert angles == [(1, 0, 2)]
+
+
+def test_bond_detection_methane():
+    bonds = detect_bonds(builders.methane())
+    assert len(bonds) == 4
+    angles = detect_angles(bonds)
+    assert len(angles) == 6
+
+
+def test_reference_geometry_is_stationary_bonded():
+    """At the construction geometry, bonded terms contribute zero
+    force; only the (weak) nonbonded terms remain."""
+    m = builders.water()
+    ff = ForceField(m)
+    e, f = ff.energy_forces(m.coords)
+    # forces are small (just intramolecular LJ/coulomb exclusions leave
+    # nothing for a single water: 1-2 and 1-3 all excluded)
+    assert np.abs(f).max() < 1e-10
+    assert abs(e) < 1e-12
+
+
+def test_forces_are_negative_gradient():
+    m = builders.water_dimer()
+    ff = ForceField(m)
+    rng = np.random.default_rng(0)
+    x = m.coords + rng.normal(scale=0.05, size=m.coords.shape)
+    e0, f = ff.energy_forces(x)
+    h = 1e-6
+    for atom in (0, 3):
+        for d in range(3):
+            xp = x.copy(); xp[atom, d] += h
+            xm = x.copy(); xm[atom, d] -= h
+            fd = -(ff.energy_forces(xp)[0] - ff.energy_forces(xm)[0]) / (2 * h)
+            assert np.isclose(f[atom, d], fd, atol=1e-5), (atom, d)
+
+
+def test_total_force_zero():
+    """Newton's third law: internal forces sum to zero."""
+    m = builders.water_dimer()
+    ff = ForceField(m)
+    rng = np.random.default_rng(1)
+    x = m.coords + rng.normal(scale=0.1, size=m.coords.shape)
+    _, f = ff.energy_forces(x)
+    assert np.allclose(f.sum(axis=0), 0.0, atol=1e-10)
+
+
+def test_stretched_bond_restoring_force():
+    m = builders.water()
+    ff = ForceField(m)
+    x = m.coords.copy()
+    # stretch O-H1 along the bond
+    bond_vec = x[1] - x[0]
+    x[1] += 0.2 * bond_vec / np.linalg.norm(bond_vec)
+    e, f = ff.energy_forces(x)
+    assert e > 0
+    # force on H1 points back toward O
+    assert f[1] @ bond_vec < 0
+
+
+def test_charges_add_coulomb():
+    m = builders.water_dimer()
+    q = np.array([-0.8, 0.4, 0.4, -0.8, 0.4, 0.4])
+    ff_neutral = ForceField(m)
+    ff_charged = ForceField(m, charges=q)
+    e_n, _ = ff_neutral.energy_forces(m.coords)
+    e_c, _ = ff_charged.energy_forces(m.coords)
+    assert e_c != e_n
+
+
+def test_pbc_wraps_interactions():
+    m = builders.water()
+    cell = Cell.cubic(12.0)
+    # shift one molecule near the boundary; a periodic image of a
+    # second copy interacts across it
+    box = m + m.translated(np.array([11.5, 0.0, 0.0]))
+    ff = ForceField(box, cell=cell)
+    e_pbc, _ = ff.energy_forces(box.coords)
+    ff_open = ForceField(box)
+    e_open, _ = ff_open.energy_forces(box.coords)
+    assert e_pbc != e_open
+
+
+def test_md_stability_with_forcefield():
+    """Short NVE run conserves energy reasonably."""
+    from repro.constants import fs_to_aut
+    from repro.md.integrator import VelocityVerlet, initialize_velocities
+    from repro.md.observables import energy_drift
+
+    m = builders.water_dimer()
+    ff = ForceField(m)
+    vv = VelocityVerlet(ff, m.masses, fs_to_aut(0.2))
+    s = vv.initial_state(m.coords, initialize_velocities(m.masses, 100, 3))
+    traj = vv.run(s, 100)
+    assert energy_drift(traj, m.masses) < 5e-3

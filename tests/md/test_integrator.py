@@ -1,0 +1,97 @@
+"""Tests for the velocity-Verlet integrator."""
+
+import numpy as np
+import pytest
+
+from repro.md.integrator import (MDState, VelocityVerlet,
+                                 initialize_velocities, kinetic_energy,
+                                 temperature)
+
+
+class Harmonic3D:
+    """Isotropic harmonic well around the origin, k = 1."""
+
+    def energy_forces(self, coords):
+        e = 0.5 * float((coords * coords).sum())
+        return e, -coords
+
+
+def test_kinetic_energy_and_temperature():
+    m = np.array([1.0, 2.0])
+    v = np.array([[1.0, 0, 0], [0, 1.0, 0]])
+    assert np.isclose(kinetic_energy(m, v), 0.5 * 1 + 0.5 * 2)
+    assert temperature(m, v) > 0
+
+
+def test_maxwell_boltzmann_statistics():
+    m = np.full(2000, 1822.0)
+    v = initialize_velocities(m, 300.0, seed=1)
+    t = temperature(m, v)
+    assert abs(t - 300.0) < 15.0
+
+
+def test_zero_total_momentum():
+    m = np.array([1822.0, 3644.0, 911.0])
+    v = initialize_velocities(m, 500.0, seed=2)
+    p = (m[:, None] * v).sum(axis=0)
+    assert np.allclose(p, 0.0, atol=1e-10)
+
+
+def test_harmonic_energy_conservation():
+    eng = Harmonic3D()
+    m = np.ones(1)
+    vv = VelocityVerlet(eng, m, dt=0.01)
+    s = vv.initial_state(np.array([[1.0, 0.0, 0.0]]),
+                         np.array([[0.0, 0.5, 0.0]]))
+    traj = vv.run(s, 2000)
+    e0 = traj[0].total_energy(m)
+    es = np.array([st.total_energy(m) for st in traj])
+    assert np.abs(es - e0).max() < 1e-4 * abs(e0)
+
+
+def test_harmonic_period():
+    """Angular frequency 1 -> period 2*pi."""
+    eng = Harmonic3D()
+    m = np.ones(1)
+    dt = 0.001
+    vv = VelocityVerlet(eng, m, dt=dt)
+    s = vv.initial_state(np.array([[1.0, 0.0, 0.0]]))
+    traj = vv.run(s, int(2 * np.pi / dt))
+    # after one period, back at x ~ 1
+    assert np.isclose(traj[-1].coords[0, 0], 1.0, atol=1e-3)
+
+
+def test_time_reversibility():
+    eng = Harmonic3D()
+    m = np.ones(2)
+    vv = VelocityVerlet(eng, m, dt=0.05)
+    x0 = np.array([[1.0, 0, 0], [0, -1.0, 0.5]])
+    v0 = np.array([[0.1, 0.2, 0], [-0.3, 0, 0]])
+    s = vv.initial_state(x0, v0)
+    for _ in range(100):
+        s = vv.step(s)
+    # reverse velocities and integrate back
+    s = MDState(s.coords, -s.velocities, s.forces, s.energy_pot)
+    for _ in range(100):
+        s = vv.step(s)
+    assert np.allclose(s.coords, x0, atol=1e-10)
+    assert np.allclose(-s.velocities, v0, atol=1e-10)
+
+
+def test_callbacks_invoked():
+    eng = Harmonic3D()
+    m = np.ones(1)
+    seen = []
+    vv = VelocityVerlet(eng, m, dt=0.1, callbacks=[lambda st: seen.append(st.step)])
+    s = vv.initial_state(np.array([[1.0, 0, 0]]))
+    vv.run(s, 5)
+    assert seen == [1, 2, 3, 4, 5]
+
+
+def test_step_counter():
+    eng = Harmonic3D()
+    vv = VelocityVerlet(eng, np.ones(1), dt=0.1)
+    s = vv.initial_state(np.array([[1.0, 0, 0]]))
+    s = vv.step(s)
+    s = vv.step(s)
+    assert s.step == 2

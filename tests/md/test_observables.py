@@ -1,0 +1,72 @@
+"""Tests for trajectory observables."""
+
+import numpy as np
+
+from repro.chem.pbc import Cell
+from repro.md.integrator import MDState
+from repro.md.observables import energy_drift, msd, rdf, temperature_series
+
+
+def _fake_traj(n, masses, e=lambda k: 0.0):
+    out = []
+    for k in range(n):
+        v = np.full((len(masses), 3), 0.01 * (k + 1))
+        out.append(MDState(np.zeros((len(masses), 3)), v,
+                           np.zeros((len(masses), 3)), e(k), step=k))
+    return out
+
+
+def test_energy_drift_zero_for_constant():
+    m = np.ones(2)
+    traj = [MDState(np.zeros((2, 3)), np.zeros((2, 3)), np.zeros((2, 3)), -1.0)
+            for _ in range(5)]
+    assert energy_drift(traj, m) == 0.0
+
+
+def test_energy_drift_detects_change():
+    m = np.ones(2)
+    traj = [MDState(np.zeros((2, 3)), np.zeros((2, 3)), np.zeros((2, 3)), e)
+            for e in (-1.0, -1.1)]
+    assert np.isclose(energy_drift(traj, m), 0.1)
+
+
+def test_temperature_series_monotone_for_growing_velocities():
+    m = np.full(4, 1822.0)
+    traj = _fake_traj(5, m)
+    ts = temperature_series(traj, m)
+    assert np.all(np.diff(ts) > 0)
+
+
+def test_rdf_ideal_gas_flat():
+    """Uniform random points: g(r) ~ 1 away from r = 0."""
+    rng = np.random.default_rng(0)
+    cell = Cell.cubic(20.0)
+    frames = [rng.uniform(0, 20, size=(400, 3)) for _ in range(4)]
+    sel = np.arange(400)
+    r, g = rdf(frames, sel, sel, cell=cell, rmax=8.0, nbins=16)
+    mid = g[(r > 2.0) & (r < 8.0)]
+    assert np.all(np.abs(mid - 1.0) < 0.25)
+
+
+def test_rdf_detects_fixed_distance_pair():
+    """Two particles at fixed separation: a sharp peak in their g(r)."""
+    frames = [np.array([[0.0, 0, 0], [3.0, 0, 0]]) for _ in range(3)]
+    r, g = rdf(frames, np.array([0]), np.array([1]), rmax=6.0, nbins=12)
+    peak_bin = np.argmax(g)
+    assert abs(r[peak_bin] - 3.0) < 0.5
+
+
+def test_msd_linear_motion():
+    frames = [np.array([[float(k), 0.0, 0.0]]) for k in range(5)]
+    out = msd(frames)
+    assert np.allclose(out, [0.0, 1.0, 4.0, 9.0, 16.0])
+
+
+def test_msd_selection():
+    frames = [np.array([[float(k), 0, 0], [0, 0, 0]]) for k in range(3)]
+    out = msd(frames, sel=np.array([1]))
+    assert np.allclose(out, 0.0)
+
+
+def test_msd_empty():
+    assert msd([]).size == 0

@@ -1,0 +1,78 @@
+"""Tests for the geometry optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.chem import builders
+from repro.md.bomd import SCFForceEngine
+from repro.md.forcefield import ForceField
+from repro.md.optimize import optimize_geometry
+
+
+class Quadratic:
+    """Separable quadratic bowl with per-coordinate curvatures."""
+
+    def __init__(self, k):
+        self.k = np.asarray(k, dtype=np.float64)
+
+    def energy_forces(self, coords):
+        x = coords.reshape(-1)
+        e = 0.5 * float(self.k @ (x * x))
+        return e, (-self.k * x).reshape(-1, 3)
+
+
+def test_quadratic_bowl_converges_to_origin():
+    eng = Quadratic([1.0, 4.0, 0.5, 2.0, 1.0, 3.0])
+    x0 = np.array([[1.0, -2.0, 0.5], [0.3, 1.2, -0.7]])
+    res = optimize_geometry(eng, x0, fmax=1e-8)
+    assert res.converged
+    assert np.abs(res.coords).max() < 1e-6
+    assert res.energy < 1e-10
+
+
+def test_energy_monotone_history():
+    eng = Quadratic(np.linspace(0.5, 5.0, 6))
+    res = optimize_geometry(eng, np.ones((2, 3)), fmax=1e-6)
+    hist = np.asarray(res.history)
+    assert np.all(np.diff(hist) <= 1e-12)
+
+
+def test_already_converged_geometry():
+    eng = Quadratic(np.ones(3))
+    res = optimize_geometry(eng, np.zeros((1, 3)), fmax=1e-4)
+    assert res.converged
+    assert res.niter == 0
+
+
+def test_max_steps_respected():
+    eng = Quadratic(np.ones(3))
+    res = optimize_geometry(eng, np.full((1, 3), 50.0), fmax=1e-12,
+                            max_steps=2, max_step_length=0.01)
+    assert not res.converged
+    assert res.niter == 2
+
+
+def test_h2_sto3g_bond_length():
+    """Optimizes to the known STO-3G minimum r ~ 0.712 Angstrom."""
+    mol = builders.h2(0.90)
+    eng = SCFForceEngine(mol, method="hf")
+    res = optimize_geometry(eng, mol.coords, fmax=5e-4)
+    assert res.converged
+    r = np.linalg.norm(res.coords[1] - res.coords[0]) * 0.529177
+    assert np.isclose(r, 0.712, atol=0.01)
+
+
+def test_forcefield_relaxation():
+    """A distorted water relaxes back to its reference geometry under
+    the harmonic force field."""
+    mol = builders.water()
+    ff = ForceField(mol)
+    rng = np.random.default_rng(0)
+    x0 = mol.coords + rng.normal(scale=0.08, size=mol.coords.shape)
+    res = optimize_geometry(ff, x0, fmax=1e-6, max_steps=500)
+    assert res.converged
+    # bond lengths restored
+    for i, j in ff.bonds:
+        r_opt = np.linalg.norm(res.coords[i] - res.coords[j])
+        r_ref = np.linalg.norm(mol.coords[i] - mol.coords[j])
+        assert np.isclose(r_opt, r_ref, atol=1e-3)

@@ -1,0 +1,72 @@
+"""Tests for thermostats."""
+
+import numpy as np
+
+from repro.md.integrator import MDState, initialize_velocities, temperature
+from repro.md.thermostat import (BerendsenThermostat, CSVRThermostat,
+                                 VelocityRescale)
+
+
+def _state(masses, T, seed=0):
+    v = initialize_velocities(masses, T, seed=seed)
+    return MDState(np.zeros((len(masses), 3)), v,
+                   np.zeros((len(masses), 3)), 0.0, step=0)
+
+
+def test_velocity_rescale_exact():
+    m = np.full(50, 1822.0)
+    s = _state(m, 600.0, seed=1)
+    VelocityRescale(T=300.0)(s, m, 1.0)
+    assert np.isclose(temperature(m, s.velocities), 300.0, rtol=1e-10)
+
+
+def test_velocity_rescale_every_n():
+    m = np.full(10, 1822.0)
+    s = _state(m, 600.0, seed=2)
+    th = VelocityRescale(T=300.0, every=5)
+    s.step = 3   # not a multiple of 5 -> no-op
+    t_before = temperature(m, s.velocities)
+    th(s, m, 1.0)
+    assert np.isclose(temperature(m, s.velocities), t_before)
+
+
+def test_berendsen_relaxes_towards_target():
+    m = np.full(100, 1822.0)
+    s = _state(m, 900.0, seed=3)
+    th = BerendsenThermostat(T=300.0, tau=50.0)
+    temps = [temperature(m, s.velocities)]
+    for k in range(200):
+        th(s, m, 1.0)
+        temps.append(temperature(m, s.velocities))
+    assert temps[-1] < temps[0]
+    assert abs(temps[-1] - 300.0) < 30.0
+
+
+def test_berendsen_leaves_target_alone():
+    m = np.full(100, 1822.0)
+    s = _state(m, 300.0, seed=4)
+    t0 = temperature(m, s.velocities)
+    BerendsenThermostat(T=t0, tau=10.0)(s, m, 1.0)
+    assert np.isclose(temperature(m, s.velocities), t0, rtol=1e-10)
+
+
+def test_csvr_mean_temperature():
+    m = np.full(200, 1822.0)
+    s = _state(m, 600.0, seed=5)
+    th = CSVRThermostat(T=300.0, tau=20.0, seed=7)
+    temps = []
+    for _ in range(500):
+        th(s, m, 1.0)
+        temps.append(temperature(m, s.velocities))
+    # settles around the target with canonical fluctuations
+    assert abs(np.mean(temps[200:]) - 300.0) < 25.0
+    assert np.std(temps[200:]) > 1.0   # genuinely stochastic
+
+
+def test_csvr_deterministic_with_seed():
+    m = np.full(20, 1822.0)
+    s1 = _state(m, 500.0, seed=8)
+    s2 = _state(m, 500.0, seed=8)
+    CSVRThermostat(T=300.0, tau=10.0, seed=9)(s1, m, 1.0)
+    CSVRThermostat(T=300.0, tau=10.0, seed=9)(s2, m, 1.0)
+    assert np.allclose(s1.velocities, s2.velocities)

@@ -1,0 +1,102 @@
+"""Tests for the in-process simulated communicator."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.comm import SimWorld
+
+
+def test_world_size_validated():
+    with pytest.raises(ValueError):
+        SimWorld(0)
+
+
+def test_allreduce_sum_arrays():
+    w = SimWorld(4)
+    contribs = [np.full((3, 3), float(r)) for r in range(4)]
+    out = w.allreduce_sum(contribs)
+    assert len(out) == 4
+    for o in out:
+        assert np.allclose(o, 6.0)   # 0+1+2+3
+    # results are independent copies
+    out[0][0, 0] = 99.0
+    assert out[1][0, 0] == 6.0
+
+
+def test_allreduce_requires_one_per_rank():
+    w = SimWorld(3)
+    with pytest.raises(ValueError):
+        w.allreduce_sum([np.ones(2)])
+
+
+def test_allreduce_metering():
+    w = SimWorld(2)
+    w.allreduce_sum([np.ones(100), np.ones(100)])
+    assert w.log.allreduce_calls == 1
+    assert w.log.allreduce_bytes == 800
+
+
+def test_allgather():
+    w = SimWorld(3)
+    out = w.allgather([10, 20, 30])
+    assert out[0] == [10, 20, 30]
+    assert out[2] == [10, 20, 30]
+    assert w.log.allgather_calls == 1
+
+
+def test_bcast():
+    w = SimWorld(5)
+    out = w.bcast({"k": 1}, root=0)
+    assert len(out) == 5
+    assert all(o["k"] == 1 for o in out)
+    assert w.log.bcast_calls == 1
+
+
+def test_send_recv_fifo():
+    w = SimWorld(2)
+    c0, c1 = w.comm(0), w.comm(1)
+    c0.send("a", dest=1)
+    c0.send("b", dest=1)
+    assert c1.recv(source=0) == "a"
+    assert c1.recv(source=0) == "b"
+    assert w.log.p2p_messages == 2
+
+
+def test_recv_empty_mailbox_is_deadlock():
+    w = SimWorld(2)
+    with pytest.raises(RuntimeError, match="deadlock"):
+        w.comm(0).recv(source=1)
+
+
+def test_send_invalid_destination():
+    w = SimWorld(2)
+    with pytest.raises(ValueError):
+        w.comm(0).send("x", dest=5)
+
+
+def test_tags_kept_separate():
+    w = SimWorld(2)
+    c0, c1 = w.comm(0), w.comm(1)
+    c0.send("t0", dest=1, tag=0)
+    c0.send("t7", dest=1, tag=7)
+    assert c1.recv(source=0, tag=7) == "t7"
+    assert c1.recv(source=0, tag=0) == "t0"
+
+
+def test_log_merge():
+    from repro.runtime.comm import CommLog
+
+    a = CommLog(allreduce_bytes=10, p2p_messages=2)
+    b = CommLog(allreduce_bytes=5, bcast_calls=1)
+    a.merge(b)
+    assert a.allreduce_bytes == 15
+    assert a.p2p_messages == 2
+    assert a.bcast_calls == 1
+
+
+def test_nbytes_estimates():
+    w = SimWorld(1)
+    assert w._nbytes(np.zeros(10)) == 80
+    assert w._nbytes(b"abcd") == 4
+    assert w._nbytes(3.14) == 8
+    assert w._nbytes([np.zeros(2), np.zeros(3)]) == 40

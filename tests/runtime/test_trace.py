@@ -1,0 +1,61 @@
+"""Tests for timers and traces."""
+
+import time
+
+import pytest
+
+from repro.runtime.trace import Timer, Trace, TraceEvent
+
+
+def test_timer_accumulates():
+    t = Timer()
+    with t:
+        time.sleep(0.01)
+    with t:
+        time.sleep(0.01)
+    assert t.count == 2
+    assert t.total >= 0.02
+    assert t.mean >= 0.01
+
+
+def test_timer_misuse():
+    t = Timer()
+    with pytest.raises(RuntimeError):
+        t.stop()
+    t.start()
+    with pytest.raises(RuntimeError):
+        t.start()
+    t.stop()
+
+
+def test_trace_event_duration():
+    e = TraceEvent("x", 1.0, 3.5)
+    assert e.duration == 2.5
+
+
+def test_trace_rejects_negative_span():
+    tr = Trace()
+    with pytest.raises(ValueError):
+        tr.add("bad", 2.0, 1.0)
+
+
+def test_trace_aggregation():
+    tr = Trace()
+    tr.add("compute", 0.0, 2.0, rank=0)
+    tr.add("compute", 1.0, 2.0, rank=1)
+    tr.add("comm", 2.0, 2.5, rank=0)
+    assert tr.total("compute") == 3.0
+    assert tr.by_label() == {"compute": 3.0, "comm": 0.5}
+    assert tr.makespan() == 2.5
+
+
+def test_trace_span_context_manager():
+    tr = Trace()
+    clock = Timer()
+    with tr.span("work", clock):
+        time.sleep(0.005)
+    assert tr.total("work") >= 0.004
+
+
+def test_empty_trace_makespan():
+    assert Trace().makespan() == 0.0

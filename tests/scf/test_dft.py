@@ -1,0 +1,98 @@
+"""Tests for the RKS drivers (LDA / PBE / PBE0)."""
+
+import numpy as np
+import pytest
+
+from repro.chem import builders
+from repro.scf.dft import RKS, run_rks
+
+
+@pytest.fixture(scope="module")
+def water_pbe0():
+    return run_rks(builders.water(), functional="pbe0", conv_tol=1e-7)
+
+
+def test_hf_functional_reduces_to_rhf(water, water_rhf):
+    res = run_rks(water, functional="hf")
+    assert abs(res.energy - water_rhf.energy) < 1e-9
+
+
+def test_lda_water_literature_ballpark(water):
+    res = run_rks(water, functional="lda", conv_tol=1e-7)
+    assert res.converged
+    # SVWN-class/STO-3G water: ~ -74.73 Ha
+    assert np.isclose(res.energy, -74.73, atol=0.05)
+
+
+def test_pbe_below_lda_total_energy(water):
+    e_lda = run_rks(water, functional="lda", conv_tol=1e-7).energy
+    e_pbe = run_rks(water, functional="pbe", conv_tol=1e-7).energy
+    # GGA exchange enhancement lowers the total energy
+    assert e_pbe < e_lda
+
+
+def test_pbe0_energy_between_pbe_and_hf_exchange_story(water, water_pbe0):
+    assert water_pbe0.converged
+    e_pbe = run_rks(water, functional="pbe", conv_tol=1e-7).energy
+    # PBE0 mixes exact exchange; for water/STO-3G it lands near PBE
+    assert abs(water_pbe0.energy - e_pbe) < 0.1
+
+
+def test_pbe0_exact_exchange_recorded(water_pbe0):
+    # a quarter of exact exchange enters the energy; K itself ~ -8.9 Ha
+    assert water_pbe0.exchange_energy < -5
+
+
+def test_pbe0_homo_lumo_gap_larger_than_pbe(water, water_pbe0):
+    """Exact exchange opens the gap — the qualitative reason the paper
+    uses PBE0 for redox chemistry."""
+    r_pbe = run_rks(water, functional="pbe", conv_tol=1e-7)
+    assert water_pbe0.homo_lumo_gap() > r_pbe.homo_lumo_gap()
+
+
+def test_density_integrates_to_nelec(water_pbe0):
+    from repro.scf.dft import XCIntegrator
+    from repro.scf.functionals import get_functional
+    from repro.scf.grid import MolecularGrid
+
+    grid = MolecularGrid.build(builders.water(), 40, 26)
+    xc = XCIntegrator(water_pbe0.basis, grid, get_functional("lda"))
+    rho, _ = xc.density_on_grid(water_pbe0.D)
+    assert np.isclose(grid.weights @ rho, 10.0, rtol=5e-3)
+
+
+def test_vxc_symmetric(water, water_rhf):
+    from repro.scf.dft import XCIntegrator
+    from repro.scf.functionals import get_functional
+    from repro.scf.grid import MolecularGrid
+
+    grid = MolecularGrid.build(water, 20, 14)
+    xc = XCIntegrator(water_rhf.basis, grid, get_functional("pbe"))
+    e, V = xc.exc_and_potential(water_rhf.D)
+    assert np.allclose(V, V.T, atol=1e-12)
+    assert e < 0
+
+
+def test_vxc_is_functional_derivative(water, water_rhf):
+    """Directional derivative of Exc[D] matches Tr(Vxc dD)."""
+    from repro.scf.dft import XCIntegrator
+    from repro.scf.functionals import get_functional
+    from repro.scf.grid import MolecularGrid
+
+    grid = MolecularGrid.build(water, 24, 14)
+    xc = XCIntegrator(water_rhf.basis, grid, get_functional("lda"))
+    D = water_rhf.D
+    rng = np.random.default_rng(0)
+    dD = rng.normal(size=D.shape) * 1e-4
+    dD = dD + dD.T
+    e0, V = xc.exc_and_potential(D)
+    e1, _ = xc.exc_and_potential(D + dD)
+    lhs = e1 - e0
+    rhs = float(np.einsum("pq,pq->", V, dD))
+    assert np.isclose(lhs, rhs, rtol=2e-2, atol=1e-9)
+
+
+def test_lih_pbe0_converges():
+    res = run_rks(builders.lih(), functional="pbe0", conv_tol=1e-6)
+    assert res.converged
+    assert res.energy < -7.5

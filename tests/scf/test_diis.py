@@ -1,0 +1,67 @@
+"""Tests for DIIS extrapolation."""
+
+import numpy as np
+import pytest
+
+from repro.scf.diis import DIIS
+
+
+def test_requires_two_vectors():
+    with pytest.raises(ValueError):
+        DIIS(max_vec=1)
+
+
+def test_single_vector_passthrough():
+    d = DIIS()
+    F = np.eye(2)
+    d.push(F, np.ones((2, 2)))
+    assert np.allclose(d.extrapolate(), F)
+
+
+def test_eviction_beyond_capacity():
+    d = DIIS(max_vec=3)
+    for k in range(5):
+        d.push(np.eye(2) * k, np.eye(2) * (5 - k))
+    assert d.nvec == 3
+
+
+def test_error_norm_tracks_latest():
+    d = DIIS()
+    d.push(np.eye(2), np.full((2, 2), 3.0))
+    d.push(np.eye(2), np.full((2, 2), 0.5))
+    assert np.isclose(d.error_norm(), 0.5)
+
+
+def test_exact_linear_combination_recovered():
+    """When the stored errors admit an exact zero affine combination,
+    DIIS finds it and returns the corresponding Fock matrix."""
+    rng = np.random.default_rng(0)
+    F_star = rng.normal(size=(4, 4))
+    W = rng.normal(size=(4, 4))
+    V = rng.normal(size=(4, 4))
+    d = DIIS()
+    for a in (1.0, -1.0):   # errors a*V: c = (1/2, 1/2) zeroes them
+        d.push(F_star + a * W, a * V)
+    Fx = d.extrapolate()
+    assert np.abs(Fx - F_star).max() < 1e-10
+
+
+def test_coefficients_sum_to_one_effectively():
+    """Extrapolation of identical Focks returns the same Fock
+    (coefficients sum to 1)."""
+    d = DIIS()
+    F = np.array([[1.0, 2.0], [2.0, -1.0]])
+    d.push(F, np.full((2, 2), 0.1))
+    d.push(F, np.full((2, 2), 0.2))
+    assert np.allclose(d.extrapolate(), F, atol=1e-10)
+
+
+def test_degenerate_b_matrix_falls_back():
+    d = DIIS()
+    F1 = np.eye(2)
+    err = np.zeros((2, 2))   # zero errors make B singular-ish
+    d.push(F1, err)
+    d.push(2 * F1, err)
+    out = d.extrapolate()
+    assert out.shape == (2, 2)
+    assert np.all(np.isfinite(out))

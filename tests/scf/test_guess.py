@@ -1,0 +1,37 @@
+"""Tests for SCF initial guesses and orthogonalization."""
+
+import numpy as np
+
+from repro.integrals import overlap_matrix
+from repro.scf.guess import core_guess, density_from_orbitals, orthogonalizer
+
+
+def test_orthogonalizer_property(water_basis):
+    S = overlap_matrix(water_basis)
+    X = orthogonalizer(S)
+    assert np.allclose(X.T @ S @ X, np.eye(X.shape[1]), atol=1e-10)
+
+
+def test_orthogonalizer_drops_linear_dependence():
+    # construct S with a near-zero eigenvalue
+    S = np.diag([1.0, 1.0, 1e-12])
+    X = orthogonalizer(S, lin_dep_tol=1e-8)
+    assert X.shape == (3, 2)
+
+
+def test_density_from_orbitals_trace():
+    rng = np.random.default_rng(0)
+    C, _ = np.linalg.qr(rng.normal(size=(6, 6)))
+    D = density_from_orbitals(C, 2)
+    # trace = 2 * nocc in an orthonormal AO basis
+    assert np.isclose(np.trace(D), 4.0)
+
+
+def test_core_guess_charge_conserved(water_basis):
+    from repro.integrals import kinetic_matrix, nuclear_matrix
+
+    S = overlap_matrix(water_basis)
+    h = kinetic_matrix(water_basis) + nuclear_matrix(water_basis)
+    D, C, eps = core_guess(h, S, 5)
+    assert np.isclose(np.trace(D @ S), 10.0, atol=1e-10)
+    assert np.all(np.diff(eps) >= -1e-12)  # ascending eigenvalues

@@ -1,0 +1,50 @@
+"""Tests for MP2 on the RHF reference."""
+
+import numpy as np
+
+from repro.chem import builders
+from repro.integrals import eri_tensor
+from repro.scf import run_rhf
+from repro.scf.mp2 import ao_to_mo, mp2_energy
+
+
+def test_h2_closed_form():
+    """Minimal-basis H2 has exactly one double excitation:
+    E2 = (01|01)^2 / (2 (e0 - e1))."""
+    res = run_rhf(builders.h2())
+    mo = ao_to_mo(eri_tensor(res.basis), res.C)
+    K = mo[0, 1, 0, 1]
+    expected = K * K / (2.0 * (res.eps[0] - res.eps[1]))
+    assert np.isclose(mp2_energy(res), expected, rtol=1e-12)
+    # Szabo-Ostlund: K12 ~ 0.1813 at R = 1.4 a0
+    assert np.isclose(abs(K), 0.1813, atol=2e-3)
+
+
+def test_water_literature_value(water_rhf):
+    e2 = mp2_energy(water_rhf, eri_ao=None)
+    assert np.isclose(e2, -0.0355, atol=1e-3)
+
+
+def test_correlation_is_negative():
+    for mk in (builders.h2, builders.lih, builders.heh_plus):
+        res = run_rhf(mk())
+        assert mp2_energy(res) < 0.0
+
+
+def test_mo_transform_preserves_symmetries(water_rhf, water_eri):
+    mo = ao_to_mo(water_eri, water_rhf.C)
+    rng = np.random.default_rng(0)
+    n = mo.shape[0]
+    for _ in range(20):
+        i, j, k, l = rng.integers(0, n, 4)
+        assert np.isclose(mo[i, j, k, l], mo[j, i, k, l], atol=1e-10)
+        assert np.isclose(mo[i, j, k, l], mo[k, l, i, j], atol=1e-10)
+
+
+def test_no_virtuals_edge_case():
+    """He in a 1-function basis: no virtual space, E2 = 0."""
+    from repro.chem.molecule import Molecule
+
+    he = Molecule.from_symbols(["He"], [[0, 0, 0]])
+    res = run_rhf(he)
+    assert mp2_energy(res) == 0.0

@@ -1,0 +1,125 @@
+"""RHF validation against literature STO-3G energies and structural
+SCF invariants."""
+
+import numpy as np
+import pytest
+
+from repro.chem import builders
+from repro.scf import RHF, run_rhf
+
+
+def test_h2_energy(h2):
+    res = run_rhf(h2)
+    assert res.converged
+    # at r = 0.7414 A; Szabo-Ostlund value at 1.4 a0 is -1.1167
+    assert np.isclose(res.energy, -1.1167, atol=2e-4)
+
+
+def test_heh_plus_energy():
+    res = run_rhf(builders.heh_plus())
+    assert res.converged
+    assert np.isclose(res.energy, -2.8418, atol=5e-4)
+
+
+def test_water_energy(water_rhf):
+    assert water_rhf.converged
+    # literature RHF/STO-3G water ~ -74.963 (geometry dependent)
+    assert np.isclose(water_rhf.energy, -74.963, atol=5e-3)
+
+
+def test_lih_energy():
+    res = run_rhf(builders.lih())
+    assert np.isclose(res.energy, -7.8620, atol=1e-3)
+
+
+def test_direct_mode_matches_incore(water):
+    r1 = run_rhf(water, mode="incore")
+    r2 = run_rhf(water, mode="direct", screen_eps=1e-13)
+    assert abs(r1.energy - r2.energy) < 1e-9
+
+
+def test_density_idempotent(water_rhf):
+    """D S D = 2 D for a converged closed-shell density."""
+    D, S = water_rhf.D, water_rhf.S
+    assert np.abs(D @ S @ D - 2 * D).max() < 1e-6
+
+
+def test_density_trace_counts_electrons(water_rhf):
+    assert np.isclose(np.trace(water_rhf.D @ water_rhf.S), 10.0, atol=1e-8)
+
+
+def test_orbital_orthonormality(water_rhf):
+    C, S = water_rhf.C, water_rhf.S
+    assert np.allclose(C.T @ S @ C, np.eye(C.shape[1]), atol=1e-8)
+
+
+def test_fock_diagonal_in_mo_basis(water_rhf):
+    C, F = water_rhf.C, water_rhf.F
+    fmo = C.T @ F @ C
+    off = fmo - np.diag(np.diag(fmo))
+    assert np.abs(off).max() < 1e-6
+
+
+def test_homo_lumo_gap_positive(water_rhf):
+    assert water_rhf.homo_lumo_gap() > 0.1
+
+
+def test_mulliken_charges_sum_to_charge(water_rhf):
+    q = water_rhf.mulliken_charges()
+    assert np.isclose(q.sum(), 0.0, atol=1e-8)
+    # O negative, H positive
+    assert q[0] < 0 and q[1] > 0 and q[2] > 0
+
+
+def test_energy_monotone_convergence_tail(water_rhf):
+    """After the first few iterations the energy settles monotonically
+    to well below 1e-6 variation."""
+    hist = np.asarray(water_rhf.history)
+    assert np.abs(np.diff(hist[-3:])).max() < 1e-6
+
+
+def test_virial_ratio(water_rhf):
+    """-V/T ~ 2 at (near-)equilibrium geometry."""
+    from repro.integrals import kinetic_matrix
+
+    T = kinetic_matrix(water_rhf.basis)
+    ekin = float(np.einsum("pq,pq->", water_rhf.D, T))
+    ratio = -(water_rhf.energy - ekin) / ekin
+    assert 1.95 < ratio < 2.05
+
+
+def test_odd_electron_rejected():
+    with pytest.raises(ValueError):
+        RHF(builders.li_atom())
+
+
+def test_bad_mode_rejected(water):
+    with pytest.raises(ValueError):
+        RHF(water, mode="semi-direct")
+
+
+def test_supplied_density_guess_converges_fast(water, water_rhf):
+    res = RHF(water).run(D0=water_rhf.D)
+    assert res.converged
+    assert res.niter <= 2
+    assert np.isclose(res.energy, water_rhf.energy, atol=1e-8)
+
+
+def test_level_shift_and_damping_still_converge(water, water_rhf):
+    res = RHF(water, level_shift=0.3, damping=0.2, max_iter=200).run()
+    assert res.converged
+    assert np.isclose(res.energy, water_rhf.energy, atol=1e-6)
+
+
+def test_invalid_damping_rejected(water):
+    with pytest.raises(ValueError):
+        RHF(water, damping=1.5)
+
+
+def test_dissociation_curve_shape():
+    """RHF H2: energy at equilibrium below stretched and compressed."""
+    e_short = run_rhf(builders.h2(0.45)).energy
+    e_eq = run_rhf(builders.h2(0.74)).energy
+    e_long = run_rhf(builders.h2(2.2)).energy
+    assert e_eq < e_short
+    assert e_eq < e_long

@@ -1,0 +1,103 @@
+"""Tests for the unrestricted Hartree-Fock driver."""
+
+import numpy as np
+import pytest
+
+from repro.chem import builders
+from repro.chem.molecule import Molecule
+from repro.scf import run_rhf
+from repro.scf.uhf import UHF, run_uhf
+
+
+@pytest.fixture(scope="module")
+def li_result():
+    return run_uhf(builders.li_atom())
+
+
+def test_lithium_doublet_energy(li_result):
+    """UHF/STO-3G lithium: literature -7.3155 Ha."""
+    assert li_result.converged
+    assert np.isclose(li_result.energy, -7.3155, atol=1e-3)
+
+
+def test_lithium_spin_pure(li_result):
+    """One unpaired electron: <S^2> = 0.75 exactly (no contamination
+    possible for a single alpha electron above closed shells)."""
+    assert np.isclose(li_result.s_squared(), 0.75, atol=1e-6)
+
+
+def test_closed_shell_reduces_to_rhf(water):
+    ru = run_uhf(water)
+    rr = run_rhf(water)
+    assert abs(ru.energy - rr.energy) < 1e-9
+    assert np.isclose(ru.s_squared(), 0.0, atol=1e-8)
+    assert np.allclose(ru.D_a, ru.D_b, atol=1e-8)
+
+
+def test_triplet_oxygen_below_closed_shell_singlet():
+    """O2's ground state is the triplet — the textbook UHF success."""
+    o2t = Molecule.from_symbols(["O", "O"], [[0, 0, 0], [0, 0, 1.2075]],
+                                multiplicity=3, name="O2")
+    rt = run_uhf(o2t)
+    rs = run_rhf(builders.o2())
+    assert rt.converged
+    assert rt.energy < rs.energy - 0.01
+    # <S^2> near 2.0 with small contamination
+    assert 1.9 < rt.s_squared() < 2.2
+
+
+def test_superoxide_anion_converges():
+    r = run_uhf(builders.superoxide_anion(), level_shift=0.2)
+    assert r.converged
+    assert r.nalpha - r.nbeta == 1
+    assert 0.7 < r.s_squared() < 1.0
+
+
+def test_electron_bookkeeping():
+    r = run_uhf(builders.li_atom())
+    assert r.nalpha == 2 and r.nbeta == 1
+    # trace of spin densities
+    assert np.isclose(np.trace(r.D_a @ r.S), 2.0, atol=1e-8)
+    assert np.isclose(np.trace(r.D_b @ r.S), 1.0, atol=1e-8)
+
+
+def test_impossible_multiplicity_rejected():
+    m = Molecule.from_symbols(["H"], [[0, 0, 0]], multiplicity=3)
+    with pytest.raises(ValueError):
+        UHF(m)
+    m2 = Molecule.from_symbols(["H", "H"], [[0, 0, 0], [0, 0, 0.74]],
+                               multiplicity=2)
+    with pytest.raises(ValueError):
+        UHF(m2)
+
+
+def test_spin_density_localized_on_radical():
+    """LiH+ would be exotic; use Li atom: spin density lives in the
+    valence s orbital (Mulliken spin on the single atom = 1)."""
+    r = run_uhf(builders.li_atom())
+    spin_pop = float(np.einsum("pq,qp->", r.spin_density, r.S))
+    assert np.isclose(spin_pop, 1.0, atol=1e-8)
+
+
+def test_symmetry_breaking_stretched_h2():
+    """At large separation UHF breaks the spin symmetry and drops below
+    RHF (the Coulson-Fischer point physics)."""
+    mol = builders.h2(2.5)
+    rr = run_rhf(mol)
+    ru = UHF(mol, break_symmetry=True, max_iter=300).run()
+    assert ru.converged
+    assert ru.energy < rr.energy - 1e-3
+    # broken-symmetry solution is spin-contaminated
+    assert ru.s_squared() > 0.2
+
+
+def test_supplied_density_guess(water):
+    ru = run_uhf(water)
+    r2 = UHF(water).run(D0=(ru.D_a, ru.D_b))
+    assert r2.converged
+    assert r2.niter <= 3
+    assert np.isclose(r2.energy, ru.energy, atol=1e-8)
+
+
+def test_history_recorded(li_result):
+    assert len(li_result.history) == li_result.niter

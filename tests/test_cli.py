@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "6291456" in out
+    assert "repro" in out
+
+
+def test_scf_builtin(capsys):
+    assert main(["scf", "h2"]) == 0
+    out = capsys.readouterr().out
+    assert "E(RHF/sto-3g)" in out
+    assert "-1.11" in out
+
+
+def test_scf_uhf_route(capsys):
+    assert main(["scf", "li_atom", "--multiplicity", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "UHF" in out and "<S^2>" in out
+
+
+def test_scf_dft(capsys):
+    assert main(["scf", "h2", "--method", "lda"]) == 0
+    assert "E(LDA" in capsys.readouterr().out
+
+
+def test_scf_unknown_molecule():
+    with pytest.raises(SystemExit):
+        main(["scf", "unobtainium"])
+
+
+def test_scf_from_xyz(tmp_path, capsys):
+    from repro.chem import builders, write_xyz
+
+    path = tmp_path / "m.xyz"
+    write_xyz(path, builders.h2())
+    assert main(["scf", "--xyz", str(path)]) == 0
+    assert "-1.11" in capsys.readouterr().out
+
+
+def test_workload(capsys):
+    assert main(["workload", "water", "--size", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "pair tasks" in out
+
+
+def test_scale_small(capsys):
+    assert main(["scale", "--size", "8", "--racks", "0.25,1"]) == 0
+    out = capsys.readouterr().out
+    assert "efficiency" in out
+
+
+def test_scale_with_baseline(capsys):
+    assert main(["scale", "--size", "8", "--racks", "0.25,0.5",
+                 "--baseline"]) == 0
+    assert "t(legacy)" in capsys.readouterr().out
