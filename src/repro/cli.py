@@ -59,6 +59,11 @@ def _cmd_scf(args) -> int:
     print(f"{mol.name or 'molecule'}: {mol.natom} atoms, "
           f"{mol.nelectron} electrons, charge {mol.charge}, "
           f"multiplicity {mol.multiplicity}")
+    if args.executor == "process" and (args.method != "hf"
+                                       or mol.multiplicity > 1):
+        raise SystemExit("--executor process is wired through the direct "
+                         "RHF builder; use --method hf on a closed-shell "
+                         "molecule")
     if args.method == "uhf" or mol.multiplicity > 1:
         from repro.scf import run_uhf
 
@@ -69,7 +74,18 @@ def _cmd_scf(args) -> int:
     elif args.method == "hf":
         from repro.scf import run_rhf
 
-        res = run_rhf(mol, basis=args.basis)
+        kwargs = {}
+        if args.executor == "process":
+            from repro.runtime.pool import default_nworkers
+
+            nworkers = args.nworkers or default_nworkers()
+            kwargs.update(mode="direct", executor="process",
+                          nworkers=nworkers)
+            print(f"executor: process pool, {nworkers} workers "
+                  "(direct J/K builds)")
+        elif args.mode:
+            kwargs["mode"] = args.mode
+        res = run_rhf(mol, basis=args.basis, **kwargs)
         print(f"E(RHF/{args.basis}) = {res.energy:.8f} Ha  "
               f"converged={res.converged} niter={res.niter}")
         print(f"E_x(exact) = {res.exchange_energy:.6f} Ha   "
@@ -182,6 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--basis", default="sto-3g")
     ps.add_argument("--charge", type=int, default=0)
     ps.add_argument("--multiplicity", type=int, default=1)
+    ps.add_argument("--mode", choices=["incore", "direct"],
+                    help="J/K build style for --method hf "
+                         "(default incore; process executor forces direct)")
+    ps.add_argument("--executor", default="serial",
+                    choices=["serial", "process"],
+                    help="where direct J/K builds run: in-process or on a "
+                         "persistent local worker pool")
+    ps.add_argument("--nworkers", type=int, default=None,
+                    help="worker count for --executor process "
+                         "(default: usable cores)")
     ps.set_defaults(func=_cmd_scf)
 
     pw = sub.add_parser("workload", help="generate an HFX workload")

@@ -36,10 +36,15 @@ class IncrementalExchange:
     """
 
     def __init__(self, basis: BasisSet, eps: float = 1e-10,
-                 rebuild_every: int = 8):
+                 rebuild_every: int = 8, executor: str = "serial",
+                 nworkers: int | None = None, pool=None):
+        if executor not in ("serial", "process"):
+            raise ValueError(
+                f"executor must be 'serial' or 'process', got {executor!r}")
         self.basis = basis
         self.eps = eps
         self.rebuild_every = rebuild_every
+        self.executor = executor
         self.engine = ERIEngine(basis)
         self.Q = self.engine.schwarz_bounds()
         self._keys = sorted(self.Q)
@@ -49,6 +54,21 @@ class IncrementalExchange:
         self.last_quartets = 0
         self.total_quartets_incremental = 0
         self.total_quartets_full = 0
+        self._pool = None
+        self._owns_pool = False
+        if executor == "process":
+            from ..runtime.pool import ExchangeWorkerPool
+
+            if pool is not None and pool.basis is not basis:
+                pool.reset(basis)
+            self._pool = pool or ExchangeWorkerPool(basis, nworkers=nworkers)
+            self._owns_pool = pool is None
+
+    def close(self) -> None:
+        """Release the worker pool if this builder owns one."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def _block_max(self, M: np.ndarray) -> np.ndarray:
         """max|M| per shell block, shape (nshell, nshell)."""
@@ -61,6 +81,38 @@ class IncrementalExchange:
                 out[i, j] = np.abs(M[si, sj]).max()
         return out
 
+    def _screen(self, dmax: np.ndarray
+                ) -> tuple[list[tuple[int, int, np.ndarray]], int, int]:
+        """Surviving ket lists per bra pair under the increment screen.
+
+        The screen is deliberately *per shell pair*: each quartet is
+        bounded by ``Q_ij Q_kl`` times ``max|dD|`` over the four density
+        blocks the exchange contraction actually touches —
+        ``(j,l), (j,k), (i,l), (i,k)`` — never by the global ``max|dD|``,
+        which would keep quartets whose own density blocks are already
+        converged (and never by the bra/ket-internal blocks ``(i,j)``/
+        ``(k,l)``, which only Coulomb touches and whose use here would
+        over-screen and inflate the skip rate).
+        """
+        keys = self._keys
+        surviving: list[tuple[int, int, np.ndarray]] = []
+        computed = 0
+        skipped = 0
+        for a, (i, j) in enumerate(keys):
+            qa = self.Q[(i, j)]
+            kept: list[tuple[int, int]] = []
+            for (k, l) in keys[a:]:
+                bound = qa * self.Q[(k, l)]
+                dloc = max(dmax[j, l], dmax[j, k], dmax[i, l], dmax[i, k])
+                if bound * dloc < self.eps:
+                    skipped += 1
+                    continue
+                kept.append((k, l))
+            if kept:
+                surviving.append((i, j, np.asarray(kept, dtype=np.int64)))
+                computed += len(kept)
+        return surviving, computed, skipped
+
     def update(self, D: np.ndarray) -> np.ndarray:
         """Advance to density ``D``; returns the current K estimate."""
         full = (self.builds % self.rebuild_every == 0)
@@ -68,23 +120,29 @@ class IncrementalExchange:
         if full:
             self.K[:] = 0.0
         dmax = self._block_max(dD)
-        computed = 0
-        skipped = 0
-        keys = self._keys
+        surviving, computed, skipped = self._screen(dmax)
         Kdelta = np.zeros_like(self.K)
-        for a, (i, j) in enumerate(keys):
-            qa = self.Q[(i, j)]
-            for (k, l) in keys[a:]:
-                qb = self.Q[(k, l)]
-                bound = qa * qb
-                # exchange touches density blocks (j,l),(j,k),(i,l),(i,k)
-                dloc = max(dmax[j, l], dmax[j, k], dmax[i, l], dmax[i, k])
-                if bound * dloc < self.eps:
-                    skipped += 1
-                    continue
-                block = self.engine.quartet(i, j, k, l)
-                scatter_exchange(self.basis, Kdelta, block, dD, (i, j, k, l))
-                computed += 1
+        if self.executor == "process":
+            from ..runtime.pool import RankJob
+
+            jobs = [RankJob(rank=w) for w in range(self._pool.nworkers)]
+            for (i, j, kets) in sorted(surviving, key=lambda p: -len(p[2])):
+                w = min(range(len(jobs)), key=lambda w: jobs[w].cost)
+                jobs[w].pairs.append((i, j, kets))
+                jobs[w].cost += len(kets)
+            results, nq = self._pool.exchange(dD, jobs, want_j=False,
+                                              want_k=True)
+            for _, Kw in results.values():
+                Kdelta += Kw
+            # keep the parent engine's counter consistent with the
+            # serial executor, where quartet() counts every evaluation
+            self.engine.quartets_computed += nq
+        else:
+            for (i, j, kets) in surviving:
+                for (k, l) in kets:
+                    block = self.engine.quartet(i, j, int(k), int(l))
+                    scatter_exchange(self.basis, Kdelta, block, dD,
+                                     (i, j, int(k), int(l)))
         self.K += Kdelta
         self.D_ref = D.copy()
         self.builds += 1

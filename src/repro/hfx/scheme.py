@@ -24,6 +24,13 @@ Two execution paths:
   real (small) molecule through the in-process communicator and is
   verified against the serial reference in the tests — the scheme is a
   real algorithm, not only a model.
+
+``distributed_exchange(..., executor="process")`` additionally runs the
+rank loop *in parallel* on local cores through
+:class:`repro.runtime.pool.ExchangeWorkerPool`: each simulated rank's
+screened quartet batch executes in a persistent worker process and the
+per-rank partial K matrices are reduced exactly like the serial path's
+allreduce.  The serial executor remains the reference.
 """
 
 from __future__ import annotations
@@ -96,6 +103,8 @@ class HFXScheme:
     node: NodeComputeModel | None = None
     collective_algorithm: str = "torus_tree"
     dilation: float = 1.0
+    executor: str = "serial"
+    nworkers: int | None = None
 
     def plan(self) -> Partition:
         """Static partition of the pair tasks."""
@@ -125,10 +134,41 @@ class HFXScheme:
             collective_algorithm=self.collective_algorithm,
             dilation=self.dilation)
 
+    def execute(self, basis: BasisSet, D: np.ndarray,
+                nranks: int | None = None, pool=None
+                ) -> tuple[np.ndarray, CommLog, TaskList, Partition]:
+        """Run the *real* distributed build with this scheme's knobs.
+
+        ``nranks`` defaults to the configured partition's rank count —
+        pass a small override when the config models a large machine.
+        """
+        return distributed_exchange(
+            basis, D, self.cfg.nranks if nranks is None else nranks,
+            eps=self.tasks.eps, partitioner=self.partitioner,
+            executor=self.executor, nworkers=self.nworkers, pool=pool)
+
+
+def _rank_jobs(tasks: TaskList, part: Partition, nranks: int) -> list:
+    """Per-rank screened quartet batches as pool jobs."""
+    from ..runtime.pool import RankJob
+
+    jobs = []
+    for rank in range(nranks):
+        my = np.where(part.rank_of_task == rank)[0]
+        pairs = [(int(tasks.pair_index[t][0]), int(tasks.pair_index[t][1]),
+                  tasks.ket_lists[t]) for t in my]
+        jobs.append(RankJob(rank=rank, pairs=pairs,
+                            cost=float(part.rank_flops[rank])))
+    return jobs
+
 
 def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
                          eps: float = 1e-10,
-                         partitioner: str = "serpentine"
+                         partitioner: str = "serpentine",
+                         executor: str = "serial",
+                         nworkers: int | None = None,
+                         pool=None,
+                         engine: ERIEngine | None = None
                          ) -> tuple[np.ndarray, CommLog, TaskList, Partition]:
     """Actually execute the distributed exchange build (real integrals)
     over ``nranks`` simulated ranks.
@@ -136,21 +176,52 @@ def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
     Every rank computes the quartet batches of its assigned pair tasks
     and scatters them into a local partial K; a final allreduce sums the
     partials.  Returns ``(K, comm_log, tasks, partition)``.
+
+    ``executor="serial"`` (the reference) runs the rank loop in-process;
+    ``executor="process"`` dispatches the same per-rank batches to a
+    persistent worker pool (``nworkers`` processes, or an externally
+    owned ``pool``) so the build really runs on multiple cores.  Both
+    paths accumulate identical per-rank partials, so they agree to
+    reduction roundoff.
     """
-    engine = ERIEngine(basis)
+    if executor not in ("serial", "process"):
+        raise ValueError(
+            f"executor must be 'serial' or 'process', got {executor!r}")
+    if engine is None:
+        engine = ERIEngine(basis)
     tasks = build_tasklist(basis, eps, engine=engine)
     part = partition_tasks(tasks.flops, nranks, partitioner)
     world = SimWorld(nranks)
     nbf = basis.nbf
-    partials = []
-    for rank in range(nranks):
-        Kr = np.zeros((nbf, nbf))
-        my = np.where(part.rank_of_task == rank)[0]
-        for t in my:
-            i, j = map(int, tasks.pair_index[t])
-            for (k, l) in tasks.ket_lists[t]:
-                block = engine.quartet(i, j, int(k), int(l))
-                scatter_exchange(basis, Kr, block, D, (i, j, int(k), int(l)))
-        partials.append(Kr)
+    if executor == "process":
+        from ..runtime.pool import ExchangeWorkerPool
+
+        jobs = _rank_jobs(tasks, part, nranks)
+        owns = pool is None
+        if owns:
+            pool = ExchangeWorkerPool(basis, nworkers=nworkers)
+        elif pool.basis is not basis:
+            pool.reset(basis)
+        try:
+            results, nq = pool.exchange(D, jobs, want_j=False, want_k=True)
+        finally:
+            if owns:
+                pool.close()
+        # fold the workers' evaluations into the parent engine so the
+        # counter stays consistent across executors
+        engine.quartets_computed += nq
+        partials = [results[r][1] for r in range(nranks)]
+    else:
+        partials = []
+        for rank in range(nranks):
+            Kr = np.zeros((nbf, nbf))
+            my = np.where(part.rank_of_task == rank)[0]
+            for t in my:
+                i, j = map(int, tasks.pair_index[t])
+                for (k, l) in tasks.ket_lists[t]:
+                    block = engine.quartet(i, j, int(k), int(l))
+                    scatter_exchange(basis, Kr, block, D,
+                                     (i, j, int(k), int(l)))
+            partials.append(Kr)
     summed = world.allreduce_sum(partials)
     return summed[0], world.log, tasks, part

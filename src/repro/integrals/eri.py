@@ -70,7 +70,13 @@ class ERIEngine:
         self.basis = basis
         self.pairs = build_shell_pairs(basis.shells)
         self._schwarz: dict[tuple[int, int], float] | None = None
+        # build quartets evaluated through quartet() — the single counted
+        # evaluation path, so screened and unscreened builds agree with
+        # the task list's surviving-quartet count
         self.quartets_computed = 0
+        # diagonal (ij|ij) quartets evaluated for Schwarz bounds; kept
+        # separate so screening preparation never pollutes build counts
+        self.quartets_screening = 0
 
     def pair(self, i: int, j: int) -> ShellPair:
         """The shell pair ``(min(i,j), max(i,j))``."""
@@ -83,6 +89,7 @@ class ERIEngine:
             out = {}
             for key, pair in self.pairs.items():
                 block = eri_quartet(pair, pair)
+                self.quartets_screening += 1
                 n1, n2 = block.shape[0], block.shape[1]
                 diag = np.abs(block.reshape(n1 * n2, n1 * n2).diagonal())
                 out[key] = float(np.sqrt(diag.max()))

@@ -42,6 +42,13 @@ class SCFForceEngine:
         Central-difference displacement in Bohr.
     reuse_density:
         Seed each SCF with the previous converged density.
+    executor:
+        ``"serial"`` or ``"process"``: with ``"process"`` (HF only), a
+        single persistent worker pool is spawned at the first SCF and
+        reused by every build of the trajectory — each new geometry
+        re-targets the live workers instead of respawning them.
+    nworkers:
+        Pool size for ``executor="process"``.
     """
 
     mol: Molecule
@@ -50,16 +57,45 @@ class SCFForceEngine:
     fd_step: float = 1e-3
     reuse_density: bool = True
     conv_tol: float = 1e-8
+    executor: str = "serial"
+    nworkers: int | None = None
     scf_kwargs: dict = field(default_factory=dict)
     last_result: SCFResult | None = None
     scf_iterations: list[int] = field(default_factory=list)
+    _pool: object = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.executor not in ("serial", "process"):
+            raise ValueError("executor must be 'serial' or 'process', "
+                             f"got {self.executor!r}")
+        if self.executor == "process" and self.method.lower() != "hf":
+            raise ValueError("executor='process' is wired through the "
+                             "direct RHF builder; use method='hf'")
+
+    def close(self) -> None:
+        """Stop the trajectory's worker pool, if one was spawned."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def _solver(self, mol: Molecule):
+        kwargs = dict(self.scf_kwargs)
         if self.method.lower() == "hf":
-            return RHF(mol, self.basis, conv_tol=self.conv_tol,
-                       **self.scf_kwargs)
+            if self.executor == "process":
+                from ..basis.basisset import build_basis
+                from ..runtime.pool import ExchangeWorkerPool
+
+                basis = build_basis(mol, self.basis)
+                if self._pool is None:
+                    self._pool = ExchangeWorkerPool(basis,
+                                                    nworkers=self.nworkers)
+                kwargs.setdefault("mode", "direct")
+                kwargs.update(executor="process", jk_pool=self._pool)
+                return RHF(basis.molecule, basis, conv_tol=self.conv_tol,
+                           **kwargs)
+            return RHF(mol, self.basis, conv_tol=self.conv_tol, **kwargs)
         return RKS(mol, self.basis, functional=self.method,
-                   conv_tol=self.conv_tol, **self.scf_kwargs)
+                   conv_tol=self.conv_tol, **kwargs)
 
     def _energy(self, coords: np.ndarray, D0: np.ndarray | None) -> SCFResult:
         mol = self.mol.with_coords(coords)
@@ -106,6 +142,8 @@ class BOMD:
     temperature: float | None = None
     seed: int = 0
     analytic_forces: bool = False
+    executor: str = "serial"
+    nworkers: int | None = None
     engine: object = field(init=False)
 
     def __post_init__(self) -> None:
@@ -113,11 +151,16 @@ class BOMD:
             if self.method.lower() != "hf":
                 raise ValueError("analytic forces are implemented for "
                                  "the HF method only")
+            if self.executor != "serial":
+                raise ValueError("the analytic-gradient engine has no "
+                                 "process executor; use finite differences")
             from ..scf.gradient import AnalyticSCFForceEngine
 
             self.engine = AnalyticSCFForceEngine(self.mol, self.basis)
         else:
-            self.engine = SCFForceEngine(self.mol, self.method, self.basis)
+            self.engine = SCFForceEngine(self.mol, self.method, self.basis,
+                                         executor=self.executor,
+                                         nworkers=self.nworkers)
 
     def run(self, nsteps: int):
         """Integrate ``nsteps`` of BOMD; returns the trajectory."""

@@ -1,14 +1,17 @@
-"""Simulated parallel runtime: MPI-like communicator, OpenMP-like thread
-teams, QPX-like SIMD model, tracing."""
+"""Parallel runtime: MPI-like communicator, OpenMP-like thread teams,
+QPX-like SIMD model, tracing — plus the process-pool backend that runs
+the HFX rank loop on real local cores."""
 
 from .comm import CommLog, SimComm, SimWorld
 from .threads import ScheduleResult, ThreadTeam
 from .simd import SIMDModel, KernelProfile, ERI_KERNEL, DGEMM_KERNEL, SCALAR_KERNEL
 from .trace import Timer, Trace, TraceEvent
+from .pool import ExchangeWorkerPool, RankJob, default_nworkers
 
 __all__ = [
     "CommLog", "SimComm", "SimWorld",
     "ScheduleResult", "ThreadTeam",
     "SIMDModel", "KernelProfile", "ERI_KERNEL", "DGEMM_KERNEL", "SCALAR_KERNEL",
     "Timer", "Trace", "TraceEvent",
+    "ExchangeWorkerPool", "RankJob", "default_nworkers",
 ]

@@ -1,0 +1,305 @@
+"""Process-pool execution backend for the HFX build.
+
+The paper's scheme runs the exchange build over p MPI ranks times 64
+hardware threads; the in-process :class:`repro.runtime.comm.SimWorld`
+executes those ranks *sequentially* and only meters the communication.
+This module is the first backend that actually runs them in parallel on
+local cores:
+
+* a pool of **persistent worker processes**, forked once per basis and
+  reused across SCF iterations and MD steps (an MD step re-targets the
+  workers with :meth:`ExchangeWorkerPool.reset` instead of respawning);
+* **shared read-only state**: the basis (and therefore the shell pairs
+  each worker rebuilds from it) rides along on the fork, while the
+  density lives in a ``multiprocessing`` shared-memory buffer the parent
+  rewrites before every build — workers never receive matrices over the
+  pipe;
+* **static balancing**: rank jobs are assigned to workers by greedy LPT
+  on their cost-model flops, mirroring the paper's master-less static
+  schedule (no runtime dispatch);
+* the per-rank partial J/K matrices are summed in the parent exactly
+  like the scheme's allreduce.
+
+All Cauchy-Schwarz / density screening happens in the parent so the
+serial and process executors walk byte-identical quartet lists — the
+pool changes only *where* quartets are evaluated, never *which*.
+
+Every blocking pool operation honours a deadline (default 120 s,
+``REPRO_POOL_TIMEOUT`` overrides) and raises instead of hanging, so a
+wedged forked worker fails the calling test fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RankJob", "ExchangeWorkerPool", "default_nworkers"]
+
+# Hard ceiling on any single wait for a worker reply; a forked worker
+# that wedges (e.g. a BLAS lock inherited mid-acquisition) surfaces as
+# a RuntimeError instead of a hung test session.
+DEFAULT_TIMEOUT = float(os.environ.get("REPRO_POOL_TIMEOUT", "120"))
+
+
+def default_nworkers() -> int:
+    """Worker count when the caller does not choose: the usable cores."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without affinity masks
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class RankJob:
+    """One simulated rank's slice of the build.
+
+    ``pairs`` lists ``(i, j, kets)`` bra tasks where ``kets`` is an
+    ``(m, 2)`` integer array of surviving ket shell pairs — the exact
+    screened quartet batch of the serial path.
+    """
+
+    rank: int
+    pairs: list = field(default_factory=list)
+    cost: float = 0.0
+
+
+def _lpt_assign(costs: list[float], nworkers: int) -> list[list[int]]:
+    """Greedy longest-processing-time assignment of jobs to workers."""
+    heap = [(0.0, w) for w in range(nworkers)]
+    heapq.heapify(heap)
+    out: list[list[int]] = [[] for _ in range(nworkers)]
+    for t in sorted(range(len(costs)), key=lambda t: -costs[t]):
+        load, w = heapq.heappop(heap)
+        out[w].append(t)
+        heapq.heappush(heap, (load + costs[t], w))
+    for lst in out:
+        lst.sort()
+    return out
+
+
+def _worker_main(conn, dbuf, basis, nbf: int) -> None:
+    """Worker loop: serve quartet batches until told to stop.
+
+    Runs in the child process.  The engine (shell pairs) is rebuilt
+    locally from the fork-inherited basis; the density is read from the
+    shared buffer, so an ``exec`` message carries only index arrays.
+    """
+    import traceback
+
+    from ..integrals.eri import ERIEngine
+    from ..scf.fock import scatter_coulomb, scatter_exchange
+
+    engine = ERIEngine(basis)
+    D = np.frombuffer(dbuf, dtype=np.float64).reshape(nbf, nbf)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        cmd = msg[0]
+        if cmd == "stop":
+            break
+        try:
+            if cmd == "reset":
+                basis = msg[1]
+                if basis.nbf != nbf:
+                    raise ValueError(
+                        f"reset changed nbf {nbf} -> {basis.nbf}; the "
+                        "shared density buffer is sized at pool creation")
+                engine = ERIEngine(basis)
+                conn.send(("ok", None, 0))
+            elif cmd == "exec":
+                jobs, want_j, want_k = msg[1], msg[2], msg[3]
+                results = []
+                nq = 0
+                for rank, pairs in jobs:
+                    J = np.zeros((nbf, nbf)) if want_j else None
+                    K = np.zeros((nbf, nbf)) if want_k else None
+                    for (i, j, kets) in pairs:
+                        for (k, l) in kets:
+                            k, l = int(k), int(l)
+                            block = engine.quartet(i, j, k, l)
+                            nq += 1
+                            if J is not None:
+                                scatter_coulomb(basis, J, block, D,
+                                                (i, j, k, l))
+                            if K is not None:
+                                scatter_exchange(basis, K, block, D,
+                                                 (i, j, k, l))
+                    results.append((rank, J, K))
+                conn.send(("ok", results, nq))
+            elif cmd == "ping":
+                conn.send(("ok", None, 0))
+            else:
+                raise ValueError(f"unknown pool command {cmd!r}")
+        except Exception:
+            conn.send(("err", traceback.format_exc(), 0))
+    conn.close()
+
+
+class ExchangeWorkerPool:
+    """Persistent worker processes executing screened quartet batches.
+
+    Parameters
+    ----------
+    basis:
+        The basis the workers build their ERI engines from.  Forked
+        workers inherit it for free; ``spawn`` fallbacks pickle it.
+    nworkers:
+        Pool size (default: the usable core count).
+    timeout:
+        Seconds any single wait for a worker may take before the pool
+        declares the worker hung and raises.
+    start_method:
+        ``"fork"`` (default where available) shares the read-only state
+        by inheritance; ``"spawn"`` is the portable fallback.
+    """
+
+    def __init__(self, basis, nworkers: int | None = None,
+                 timeout: float = DEFAULT_TIMEOUT,
+                 start_method: str | None = None):
+        self.basis = basis
+        self.nworkers = int(nworkers) if nworkers else default_nworkers()
+        if self.nworkers < 1:
+            raise ValueError("need at least one worker")
+        self.timeout = timeout
+        self.quartets_computed = 0   # quartets evaluated by workers, total
+        self.nbuilds = 0
+        self._closed = False
+        if start_method is None:
+            start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                            else "spawn")
+        ctx = mp.get_context(start_method)
+        nbf = basis.nbf
+        # density broadcast buffer: allocated before the fork so every
+        # worker maps the same pages; the parent rewrites it per build
+        self._dbuf = mp.RawArray("d", nbf * nbf)
+        self._D = np.frombuffer(self._dbuf, dtype=np.float64).reshape(nbf, nbf)
+        self._conns = []
+        self._procs = []
+        for _ in range(self.nworkers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main,
+                               args=(child_conn, self._dbuf, basis, nbf),
+                               daemon=True)
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    # --- lifecycle ---------------------------------------------------------------
+
+    def reset(self, basis) -> None:
+        """Re-target the live workers at a new geometry (same nbf).
+
+        This is the MD-step path: nuclei moved, so shell pairs and
+        Schwarz data are stale, but the workers themselves survive.
+        """
+        if basis.nbf != self.basis.nbf:
+            raise ValueError(
+                "reset requires an equally sized basis "
+                f"({self.basis.nbf} != {basis.nbf}); build a new pool")
+        self._broadcast(("reset", basis))
+        self.basis = basis
+
+    def close(self, force: bool = False) -> None:
+        """Stop the workers and release the pipes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            if not force:
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._conns, self._procs = [], []
+
+    def __enter__(self) -> "ExchangeWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close(force=True)
+        except Exception:
+            pass
+
+    # --- execution ---------------------------------------------------------------
+
+    def _recv(self, w: int, deadline: float):
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not self._conns[w].poll(remaining):
+            self.close(force=True)
+            raise RuntimeError(
+                f"pool worker {w} did not answer within {self.timeout:g} s "
+                "— treating it as hung and tearing the pool down")
+        return self._conns[w].recv()
+
+    def _broadcast(self, msg) -> None:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        deadline = time.monotonic() + self.timeout
+        for conn in self._conns:
+            conn.send(msg)
+        for w in range(self.nworkers):
+            status, payload, _ = self._recv(w, deadline)
+            if status != "ok":
+                self.close(force=True)
+                raise RuntimeError(f"pool worker {w} failed:\n{payload}")
+
+    def exchange(self, D: np.ndarray, jobs: list[RankJob],
+                 want_j: bool = False, want_k: bool = True
+                 ) -> tuple[dict[int, tuple[np.ndarray | None,
+                                            np.ndarray | None]], int]:
+        """Execute rank jobs against density ``D``.
+
+        Returns ``(results, nquartets)`` where ``results`` maps each
+        job's rank id to its partial ``(J, K)`` matrices (``None`` for
+        the unrequested one) and ``nquartets`` counts the quartets the
+        workers evaluated — the caller folds it into its engine counter
+        so the bookkeeping matches the serial path.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        D = np.asarray(D, dtype=np.float64)
+        if D.shape != self._D.shape:
+            raise ValueError(f"density shape {D.shape} does not match "
+                             f"the pool's basis ({self._D.shape})")
+        self._D[:] = D
+        assign = _lpt_assign([job.cost for job in jobs], self.nworkers)
+        pending = []
+        for w, idxs in enumerate(assign):
+            if not idxs:
+                continue
+            payload = [(jobs[t].rank, jobs[t].pairs) for t in idxs]
+            self._conns[w].send(("exec", payload, want_j, want_k))
+            pending.append(w)
+        results: dict[int, tuple[np.ndarray | None, np.ndarray | None]] = {}
+        nq_total = 0
+        deadline = time.monotonic() + self.timeout
+        for w in pending:
+            status, payload, nq = self._recv(w, deadline)
+            if status != "ok":
+                self.close(force=True)
+                raise RuntimeError(f"pool worker {w} failed:\n{payload}")
+            nq_total += nq
+            for rank, J, K in payload:
+                results[rank] = (J, K)
+        self.quartets_computed += nq_total
+        self.nbuilds += 1
+        return results, nq_total

@@ -30,10 +30,15 @@ class ScheduleResult:
 
     @property
     def efficiency(self) -> float:
-        """Parallel efficiency of the team on this schedule."""
+        """Parallel efficiency of the team on this schedule.
+
+        A zero makespan with zero work is the vacuous perfect schedule
+        (efficiency 1); a zero makespan with *nonzero* work is a broken
+        schedule and reports 0, not 1.
+        """
         n = len(self.thread_times)
         if self.makespan <= 0.0 or n == 0:
-            return 1.0
+            return 1.0 if self.total_work <= 0.0 and n > 0 else 0.0
         return self.total_work / (n * self.makespan)
 
     @property

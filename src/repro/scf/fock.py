@@ -18,7 +18,8 @@ from ..basis.basisset import BasisSet
 from ..integrals.eri import ERIEngine
 
 __all__ = ["jk_from_tensor", "coulomb_from_tensor", "exchange_from_tensor",
-           "DirectJKBuilder", "scatter_exchange"]
+           "DirectJKBuilder", "scatter_exchange", "scatter_coulomb",
+           "reflect_triangle"]
 
 
 def scatter_exchange(basis: BasisSet, K: np.ndarray, block: np.ndarray,
@@ -53,6 +54,32 @@ def scatter_exchange(basis: BasisSet, K: np.ndarray, block: np.ndarray,
         K[sa, sc] += np.einsum("xyzw,yw->xz", blk, D[sb, sd])
 
 
+def scatter_coulomb(basis: BasisSet, J: np.ndarray, block: np.ndarray,
+                    D: np.ndarray, idx: tuple[int, int, int, int]) -> None:
+    """Accumulate one unique quartet's Coulomb contributions into J.
+
+    Only the upper shell triangle of J is filled (every unique quartet
+    has ``i <= j`` and ``k <= l``); the caller reflects the triangle
+    once at the end of the build.  Reflection commutes with summation,
+    so partial J matrices from different workers/ranks can be reduced
+    first and reflected once.
+    """
+    i, j, k, l = idx
+    si, sj = basis.shell_slice(i), basis.shell_slice(j)
+    sk, sl = basis.shell_slice(k), basis.shell_slice(l)
+    dij = 1.0 if i == j else 2.0
+    dkl = 1.0 if k == l else 2.0
+    # J_ij += (ij|kl) D_kl  (and the bra<->ket mirror)
+    J[si, sj] += dkl * np.einsum("xyzw,zw->xy", block, D[sk, sl])
+    if (i, j) != (k, l):
+        J[sk, sl] += dij * np.einsum("xyzw,xy->zw", block, D[si, sj])
+
+
+def reflect_triangle(J: np.ndarray) -> np.ndarray:
+    """Restore a full symmetric matrix from an upper-triangle build."""
+    return np.triu(J) + np.triu(J, 1).T
+
+
 def coulomb_from_tensor(eri: np.ndarray, D: np.ndarray) -> np.ndarray:
     """Coulomb matrix J_pq = sum_rs (pq|rs) D_rs."""
     return np.einsum("pqrs,rs->pq", eri, D, optimize=True)
@@ -75,18 +102,49 @@ class DirectJKBuilder:
     skips those with ``Q_ij * Q_kl * max|D| < eps``, and scatters each
     computed block into all symmetry-related positions of J and K.
     ``eps`` is the paper's controllable-accuracy threshold.
+
+    ``executor="process"`` evaluates the surviving quartets on a
+    persistent :class:`repro.runtime.pool.ExchangeWorkerPool` instead of
+    in-process.  Screening stays in the parent, so both executors walk
+    the identical quartet list; only the evaluation site changes.  An
+    externally owned pool can be shared (e.g. across the SCFs of an MD
+    trajectory); otherwise the builder spawns and owns one.
     """
 
-    def __init__(self, basis: BasisSet, eps: float = 1e-10):
+    def __init__(self, basis: BasisSet, eps: float = 1e-10,
+                 executor: str = "serial", nworkers: int | None = None,
+                 pool=None):
+        if executor not in ("serial", "process"):
+            raise ValueError(
+                f"executor must be 'serial' or 'process', got {executor!r}")
         self.basis = basis
         self.eps = eps
+        self.executor = executor
         self.engine = ERIEngine(basis)
         self.Q = self.engine.schwarz_bounds()
+        self._keys = sorted(self.engine.pairs)
+        self._keys_arr = np.asarray(self._keys, dtype=np.int64).reshape(-1, 2)
+        self._qvals = np.array([self.Q[k] for k in self._keys])
         self.quartets_total = 0
         self.quartets_computed = 0
+        self._pool = None
+        self._owns_pool = False
+        if executor == "process":
+            from ..runtime.pool import ExchangeWorkerPool
+
+            if pool is not None and pool.basis is not basis:
+                pool.reset(basis)
+            self._pool = pool or ExchangeWorkerPool(basis, nworkers=nworkers)
+            self._owns_pool = pool is None
+
+    def close(self) -> None:
+        """Release the worker pool if this builder owns one."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def _unique_quartets(self):
-        keys = sorted(self.engine.pairs)
+        keys = self._keys
         for a, brakey in enumerate(keys):
             for ketkey in keys[a:]:
                 yield brakey, ketkey
@@ -94,40 +152,82 @@ class DirectJKBuilder:
     def build(self, D: np.ndarray, want_j: bool = True, want_k: bool = True
               ) -> tuple[np.ndarray | None, np.ndarray | None]:
         """Build J and/or K for density ``D`` (AO basis, symmetric)."""
+        if self.executor == "process":
+            return self._build_process(D, want_j, want_k)
         nbf = self.basis.nbf
         J = np.zeros((nbf, nbf)) if want_j else None
         K = np.zeros((nbf, nbf)) if want_k else None
         dmax = float(np.abs(D).max()) if D.size else 0.0
         self.quartets_total = 0
-        self.quartets_computed = 0
-        bas = self.basis
+        nq_start = self.engine.quartets_computed
         for (i, j), (k, l) in self._unique_quartets():
             self.quartets_total += 1
             if self.Q[(i, j)] * self.Q[(k, l)] * max(dmax, 1.0) < self.eps:
                 continue
-            self.quartets_computed += 1
             block = self.engine.quartet(i, j, k, l)
-            si, sj = bas.shell_slice(i), bas.shell_slice(j)
-            sk, sl = bas.shell_slice(k), bas.shell_slice(l)
-            # degeneracy factors for the symmetry-unique walk
-            dij = 1.0 if i == j else 2.0
-            dkl = 1.0 if k == l else 2.0
-            dbra = 1.0 if (i, j) == (k, l) else 2.0
             if want_j:
-                # J_ij += (ij|kl) D_kl  (and the bra<->ket mirror)
-                J[si, sj] += dkl * np.einsum("xyzw,zw->xy", block, D[sk, sl])
-                if (i, j) != (k, l):
-                    J[sk, sl] += dij * np.einsum("xyzw,xy->zw", block, D[si, sj])
+                scatter_coulomb(self.basis, J, block, D, (i, j, k, l))
             if want_k:
                 # all distinct index permutations contribute to K
-                self._scatter_k(K, block, D, (si, sj, sk, sl),
-                                (i, j, k, l))
+                scatter_exchange(self.basis, K, block, D, (i, j, k, l))
+        # the counter is derived from the engine (the single counted
+        # evaluation path) rather than kept as separate bookkeeping
+        self.quartets_computed = self.engine.quartets_computed - nq_start
         if want_j:
             # the unique walk fills the upper shell triangle (i <= j);
             # elementwise triangle reflection restores the full
             # symmetric matrix (diagonal shell blocks are complete and
             # symmetric already)
-            J = np.triu(J) + np.triu(J, 1).T
+            J = reflect_triangle(J)
+        return J, K
+
+    def _screened_pairs(self, dmax: float) -> list[tuple[int, int, np.ndarray]]:
+        """Per-bra surviving ket lists under the density-aware screen.
+
+        Uses the same float arithmetic as the serial loop's test so both
+        executors keep or drop exactly the same boundary quartets.
+        """
+        out = []
+        self.quartets_total = 0
+        m = max(dmax, 1.0)
+        for a, (i, j) in enumerate(self._keys):
+            qk = self._qvals[a:]
+            self.quartets_total += len(qk)
+            keep = ~(self._qvals[a] * qk * m < self.eps)
+            if keep.any():
+                out.append((i, j, self._keys_arr[a:][keep]))
+        return out
+
+    def _build_process(self, D: np.ndarray, want_j: bool, want_k: bool
+                       ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        from ..runtime.pool import RankJob
+
+        dmax = float(np.abs(D).max()) if D.size else 0.0
+        pairs = self._screened_pairs(dmax)
+        # one rank job per worker, balanced by surviving quartet count
+        nw = self._pool.nworkers
+        jobs = [RankJob(rank=w) for w in range(nw)]
+        order = sorted(pairs, key=lambda p: -len(p[2]))
+        loads = [0.0] * nw
+        for p in order:
+            w = min(range(nw), key=loads.__getitem__)
+            jobs[w].pairs.append(p)
+            jobs[w].cost += len(p[2])
+            loads[w] = jobs[w].cost
+        results, nq = self._pool.exchange(D, jobs, want_j=want_j,
+                                          want_k=want_k)
+        self.engine.quartets_computed += nq
+        self.quartets_computed = nq
+        nbf = self.basis.nbf
+        J = np.zeros((nbf, nbf)) if want_j else None
+        K = np.zeros((nbf, nbf)) if want_k else None
+        for Jw, Kw in results.values():
+            if want_j:
+                J += Jw
+            if want_k:
+                K += Kw
+        if want_j:
+            J = reflect_triangle(J)
         return J, K
 
     def _scatter_k(self, K, block, D, slices, idx):

@@ -81,18 +81,38 @@ class RHF:
     screen_eps:
         Cauchy-Schwarz threshold for direct mode (the paper's
         controllable-accuracy knob).
+    executor:
+        ``"serial"`` (reference) or ``"process"``: run every direct J/K
+        build on a persistent local worker pool (requires
+        ``mode="direct"``).  The pool outlives single builds — it is
+        spawned once in :meth:`run` and reused by every SCF iteration.
+    nworkers:
+        Pool size for ``executor="process"`` (default: usable cores).
+    jk_pool:
+        Externally owned :class:`repro.runtime.pool.ExchangeWorkerPool`
+        to reuse (e.g. across the SCFs of an MD trajectory); when given,
+        this driver does not close it.
     """
 
     def __init__(self, mol: Molecule, basis: str | BasisSet = "sto-3g",
                  mode: str = "incore", screen_eps: float = 1e-10,
                  conv_tol: float = 1e-8, max_iter: int = 100,
                  diis_size: int = 8, level_shift: float = 0.0,
-                 damping: float = 0.0, smearing: float = 0.0):
+                 damping: float = 0.0, smearing: float = 0.0,
+                 executor: str = "serial", nworkers: int | None = None,
+                 jk_pool=None):
         if mol.nelectron % 2 != 0:
             raise ValueError("RHF requires an even electron count; "
                              f"{mol.name or 'molecule'} has {mol.nelectron}")
         if mode not in ("incore", "direct"):
             raise ValueError(f"mode must be 'incore' or 'direct', got {mode!r}")
+        if executor not in ("serial", "process"):
+            raise ValueError(
+                f"executor must be 'serial' or 'process', got {executor!r}")
+        if executor == "process" and mode != "direct":
+            raise ValueError("executor='process' requires mode='direct' "
+                             "(the in-core tensor path has no quartet loop "
+                             "to distribute)")
         self.mol = mol
         self.basis = basis if isinstance(basis, BasisSet) else build_basis(mol, basis)
         self.mode = mode
@@ -103,6 +123,9 @@ class RHF:
         self.level_shift = level_shift
         self.damping = damping
         self.smearing = smearing
+        self.executor = executor
+        self.nworkers = nworkers
+        self.jk_pool = jk_pool
         if not 0.0 <= damping < 1.0:
             raise ValueError("damping must be in [0, 1)")
         if smearing < 0.0:
@@ -147,7 +170,9 @@ class RHF:
         if self.mode == "incore":
             self._eri = eri_tensor(self.basis)
         else:
-            self._direct = DirectJKBuilder(self.basis, eps=self.screen_eps)
+            self._direct = DirectJKBuilder(
+                self.basis, eps=self.screen_eps, executor=self.executor,
+                nworkers=self.nworkers, pool=self.jk_pool)
         return S, hcore
 
     def build_jk(self, D: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -176,24 +201,30 @@ class RHF:
         history: list[float] = []
         converged = False
         it = 0
-        for it in range(1, self.max_iter + 1):
-            J, K = self.build_jk(D)
-            F = hcore + J - 0.5 * K
-            e_el = 0.5 * float(np.einsum("pq,pq->", D, hcore + F))
-            energy = e_el + enuc
-            history.append(energy)
-            ex_energy = -0.25 * float(np.einsum("pq,pq->", K, D))
-            err = X.T @ (F @ D @ S - S @ D @ F) @ X
-            diis.push(F, err)
-            # a supplied D0 can have a vanishing commutator while being
-            # mis-normalized for this geometry; require at least one
-            # orbital update before trusting the convergence test
-            may_exit = D0 is None or it > 1
-            if may_exit and diis.error_norm() < self.conv_tol:
-                converged = True
-                break
-            Fd = diis.extrapolate()
-            D, C, eps = self._next_density(Fd, X, S, D, nocc)
+        try:
+            for it in range(1, self.max_iter + 1):
+                J, K = self.build_jk(D)
+                F = hcore + J - 0.5 * K
+                e_el = 0.5 * float(np.einsum("pq,pq->", D, hcore + F))
+                energy = e_el + enuc
+                history.append(energy)
+                ex_energy = -0.25 * float(np.einsum("pq,pq->", K, D))
+                err = X.T @ (F @ D @ S - S @ D @ F) @ X
+                diis.push(F, err)
+                # a supplied D0 can have a vanishing commutator while being
+                # mis-normalized for this geometry; require at least one
+                # orbital update before trusting the convergence test
+                may_exit = D0 is None or it > 1
+                if may_exit and diis.error_norm() < self.conv_tol:
+                    converged = True
+                    break
+                Fd = diis.extrapolate()
+                D, C, eps = self._next_density(Fd, X, S, D, nocc)
+        finally:
+            # a pool this run spawned dies with the run; an external
+            # jk_pool is left running for the caller to reuse
+            if self._direct is not None:
+                self._direct.close()
         # canonicalize against the final Fock matrix: the loop's C/eps
         # lag one iteration behind (and are the bare core-guess values
         # when convergence hits on iteration 1)

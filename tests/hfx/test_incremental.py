@@ -65,6 +65,41 @@ def test_incremental_bounded_error_loose_eps(water_scf_sequence):
     assert np.abs(K_inc - K_ref).max() < 1e-3
 
 
+def test_screen_is_per_shell_pair_not_global(water_scf_sequence):
+    """Audit of the difference-density screen (satellite of PR 1).
+
+    The screen must bound each quartet by ``Q_ij Q_kl`` times the
+    per-shell-pair ``max|dD|`` over the four density blocks the exchange
+    contraction touches — not the global ``max|dD|``.  A correct
+    per-pair screen skips at least as much as a global-max screen would
+    (the local bound is never larger), while staying within the error
+    budget; cross-check both properties against a direct build at
+    threshold 1e-10.
+    """
+    basis, densities = water_scf_sequence
+    inc = IncrementalExchange(basis, eps=1e-10, rebuild_every=100)
+    direct = DirectJKBuilder(basis, eps=1e-14)
+    engine = inc.engine
+    keys = sorted(engine.pairs)
+    # repeat the converged density once at the end: dD == 0 exactly, so
+    # a correct increment screen must skip every quartet
+    for D in densities + [densities[-1]]:
+        dD = D - inc.D_ref if inc.builds else D
+        dmax_global = float(np.abs(dD).max())
+        # quartets a global-max screen would keep
+        survive_global = sum(
+            1
+            for a, (i, j) in enumerate(keys)
+            for (k, l) in keys[a:]
+            if inc.Q[(i, j)] * inc.Q[(k, l)] * dmax_global >= inc.eps)
+        K_inc = inc.update(D)
+        assert inc.last_quartets <= survive_global
+        _, K_ref = direct.build(D, want_j=False)
+        assert np.abs(K_inc - K_ref).max() < 1e-7
+    assert inc.last_quartets == 0
+    assert inc.savings > 0.0
+
+
 def test_survival_model_monotone_in_delta():
     q = np.geomspace(1e-6, 1.0, 200)
     s_big, tot = incremental_survival(q, eps=1e-8, delta=1.0)

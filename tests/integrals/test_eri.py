@@ -115,6 +115,17 @@ def test_engine_counts_quartets(water_basis):
     assert eng.quartets_computed == 2
 
 
+def test_engine_counts_screening_separately(water_basis):
+    """Schwarz-bound quartets are tallied on their own counter so build
+    statistics stay comparable to the task list's surviving count."""
+    eng = ERIEngine(water_basis)
+    eng.schwarz_bounds()
+    assert eng.quartets_screening == len(eng.pairs)
+    assert eng.quartets_computed == 0
+    eng.schwarz_bounds()   # cached: no re-evaluation
+    assert eng.quartets_screening == len(eng.pairs)
+
+
 def test_pair_lookup_orders_indices(water_basis):
     eng = ERIEngine(water_basis)
     assert eng.pair(3, 1) is eng.pair(1, 3)

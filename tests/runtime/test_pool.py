@@ -1,0 +1,114 @@
+"""Tests for the process-pool execution backend (forked workers)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.pool import (ExchangeWorkerPool, RankJob, _lpt_assign,
+                                default_nworkers)
+from repro.scf.fock import scatter_exchange
+
+pytestmark = pytest.mark.pool
+
+
+@pytest.fixture(scope="module")
+def water_pool(water_basis):
+    with ExchangeWorkerPool(water_basis, nworkers=2) as pool:
+        yield pool
+
+
+def _serial_partial(basis, D, pairs):
+    from repro.integrals.eri import ERIEngine
+
+    K = np.zeros((basis.nbf, basis.nbf))
+    engine = ERIEngine(basis)
+    for (i, j, kets) in pairs:
+        for (k, l) in kets:
+            block = engine.quartet(i, j, int(k), int(l))
+            scatter_exchange(basis, K, block, D, (i, j, int(k), int(l)))
+    return K
+
+
+def test_lpt_assign_covers_all_jobs():
+    assign = _lpt_assign([5.0, 1.0, 3.0, 2.0, 4.0], 2)
+    placed = sorted(t for lst in assign for t in lst)
+    assert placed == [0, 1, 2, 3, 4]
+    loads = [sum([5.0, 1.0, 3.0, 2.0, 4.0][t] for t in lst)
+             for lst in assign]
+    assert max(loads) <= 9.0  # LPT on this instance is near-balanced
+
+
+def test_default_nworkers_positive():
+    assert default_nworkers() >= 1
+
+
+def test_pool_exchange_matches_serial(water_pool, water_basis, rng):
+    A = rng.standard_normal((water_basis.nbf, water_basis.nbf))
+    D = A + A.T
+    pairs = [(0, 0, np.array([[0, 0], [0, 1], [1, 1]])),
+             (0, 1, np.array([[0, 1], [2, 3]]))]
+    jobs = [RankJob(rank=0, pairs=pairs[:1], cost=3.0),
+            RankJob(rank=1, pairs=pairs[1:], cost=2.0)]
+    results, nq = water_pool.exchange(D, jobs)
+    assert nq == 5
+    assert set(results) == {0, 1}
+    K = results[0][1] + results[1][1]
+    K_ref = _serial_partial(water_basis, D, pairs)
+    assert np.abs(K - K_ref).max() < 1e-14
+    assert results[0][0] is None  # J not requested
+
+
+def test_pool_counts_quartets_across_builds(water_basis):
+    D = np.eye(water_basis.nbf)
+    jobs = [RankJob(rank=0, pairs=[(0, 0, np.array([[0, 0]]))], cost=1.0)]
+    with ExchangeWorkerPool(water_basis, nworkers=1) as pool:
+        pool.exchange(D, jobs)
+        pool.exchange(D, jobs)
+        assert pool.quartets_computed == 2
+        assert pool.nbuilds == 2
+
+
+def test_pool_reset_retargets_workers(water, rng):
+    """Moving the nuclei and resetting must match a fresh serial build —
+    the MD-step path."""
+    from repro.basis import build_basis
+
+    basis0 = build_basis(water)
+    shifted = water.with_coords(water.coords + 0.1)
+    basis1 = build_basis(shifted)
+    D = np.eye(basis0.nbf)
+    pairs = [(0, 1, np.array([[1, 2], [2, 2]]))]
+    jobs = [RankJob(rank=0, pairs=pairs, cost=1.0)]
+    with ExchangeWorkerPool(basis0, nworkers=1) as pool:
+        pool.reset(basis1)
+        results, _ = pool.exchange(D, jobs)
+    K_ref = _serial_partial(basis1, D, pairs)
+    assert np.abs(results[0][1] - K_ref).max() < 1e-14
+
+
+def test_pool_reset_rejects_size_change(water_basis, h2_basis):
+    with ExchangeWorkerPool(water_basis, nworkers=1) as pool:
+        with pytest.raises(ValueError, match="equally sized"):
+            pool.reset(h2_basis)
+
+
+def test_pool_worker_error_propagates(water_basis):
+    bad = [RankJob(rank=0, pairs=[(99, 99, np.array([[0, 0]]))], cost=1.0)]
+    pool = ExchangeWorkerPool(water_basis, nworkers=1)
+    with pytest.raises(RuntimeError, match="worker 0 failed"):
+        pool.exchange(np.eye(water_basis.nbf), bad)
+    # a failed pool tears itself down
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.exchange(np.eye(water_basis.nbf), bad)
+
+
+def test_pool_close_idempotent(water_basis):
+    pool = ExchangeWorkerPool(water_basis, nworkers=1)
+    pool.close()
+    pool.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.exchange(np.eye(water_basis.nbf), [])
+
+
+def test_pool_rejects_wrong_density_shape(water_pool):
+    with pytest.raises(ValueError, match="density shape"):
+        water_pool.exchange(np.eye(3), [])

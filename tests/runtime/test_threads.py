@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.runtime.threads import ThreadTeam
+from repro.runtime.threads import ScheduleResult, ThreadTeam
 
 
 def test_team_size_validated():
@@ -102,3 +102,17 @@ def test_efficiency_definition():
     assert np.isclose(res.efficiency, 1.0)
     res = team.dynamic(np.array([2.0]))   # one thread idle
     assert np.isclose(res.efficiency, 0.5)
+
+
+def test_efficiency_degenerate_cases():
+    """Regression: zero makespan with nonzero recorded work must report
+    0 (a broken schedule), never a perfect 1.0; zero makespan with zero
+    work stays the vacuous 1.0."""
+    broken = ScheduleResult(thread_times=np.zeros(4), makespan=0.0,
+                            total_work=3.0, overhead=0.0)
+    assert broken.efficiency == 0.0
+    vacuous = ScheduleResult(thread_times=np.zeros(4), makespan=0.0,
+                             total_work=0.0, overhead=0.0)
+    assert vacuous.efficiency == 1.0
+    empty = ThreadTeam(4, dispatch_overhead=0.0).dynamic(np.array([]))
+    assert empty.efficiency == 1.0
