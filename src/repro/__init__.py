@@ -34,6 +34,7 @@ from .scf.dft import run_rks
 from .hfx import (HFXScheme, ReplicatedDynamicBaseline, build_tasklist,
                   water_box_workload, distributed_exchange)
 from .machine import bgq_racks, BGQConfig
+from .runtime import ExecutionConfig, Tracer
 
 __all__ = [
     "analysis", "basis", "chem", "constants", "hfx", "integrals", "liair",
@@ -41,6 +42,6 @@ __all__ = [
     "Molecule", "builders", "build_basis", "run_rhf", "run_rks",
     "HFXScheme", "ReplicatedDynamicBaseline", "build_tasklist",
     "water_box_workload", "distributed_exchange",
-    "bgq_racks", "BGQConfig",
+    "bgq_racks", "BGQConfig", "ExecutionConfig", "Tracer",
     "__version__",
 ]

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["format_table", "print_table", "format_si", "format_seconds"]
+__all__ = ["format_table", "print_table", "format_si", "format_seconds",
+           "profile_table"]
 
 
 def format_si(x: float, digits: int = 3) -> str:
@@ -61,3 +62,39 @@ def print_table(rows: Iterable[Sequence], headers: Sequence[str],
                 title: str = "") -> None:
     """Print an ASCII table (see :func:`format_table`)."""
     print(format_table(rows, headers, title))
+
+
+def profile_table(snapshot, title: str = "profile",
+                  max_rows: int | None = None) -> str:
+    """Paper-style per-build profile of a telemetry snapshot.
+
+    One row per span name (calls, total/mean wall time, share of the
+    traced root interval), sorted by total time; counters are appended
+    below the table.  Accepts any object with the
+    :class:`repro.runtime.TelemetrySnapshot` ``summary()`` surface.
+    """
+    summ = snapshot.summary()
+    totals = summ.get("span_totals", {})
+    wall = summ.get("wall_s", 0.0) or 0.0
+    rows = []
+    for name, st in sorted(totals.items(), key=lambda kv: -kv[1]["total_s"]):
+        calls = st["calls"]
+        total = st["total_s"]
+        share = total / wall if wall > 0 else 0.0
+        rows.append((name, calls, format_seconds(total),
+                     format_seconds(total / calls if calls else 0.0),
+                     f"{100.0 * share:.1f}%"))
+    dropped = 0
+    if max_rows is not None and len(rows) > max_rows:
+        dropped = len(rows) - max_rows
+        rows = rows[:max_rows]
+    out = format_table(rows, ("span", "calls", "total", "mean", "share"),
+                       title=title)
+    if dropped:
+        out += f"\n... ({dropped} more spans)"
+    counters = summ.get("counters", {})
+    if counters:
+        crow = [(k, format_si(float(v)) if isinstance(v, (int, float))
+                 else str(v)) for k, v in sorted(counters.items())]
+        out += "\n" + format_table(crow, ("counter", "value"))
+    return out

@@ -55,48 +55,91 @@ def _load_molecule(args):
 
 
 def _cmd_scf(args) -> int:
+    import json
+
+    from repro.runtime import ExecutionConfig, Tracer
+    from repro.runtime.pool import default_nworkers, resolve_pool_timeout
+
+    # validate the env knob at the boundary, before any pool spawns
+    try:
+        pool_timeout = resolve_pool_timeout()
+    except ValueError as e:
+        raise SystemExit(f"error: {e}") from None
     mol = _load_molecule(args)
-    print(f"{mol.name or 'molecule'}: {mol.natom} atoms, "
-          f"{mol.nelectron} electrons, charge {mol.charge}, "
-          f"multiplicity {mol.multiplicity}")
+    quiet = args.json
+    say = (lambda *a, **k: None) if quiet else print
+    say(f"{mol.name or 'molecule'}: {mol.natom} atoms, "
+        f"{mol.nelectron} electrons, charge {mol.charge}, "
+        f"multiplicity {mol.multiplicity}")
     if args.executor == "process" and (args.method != "hf"
                                        or mol.multiplicity > 1):
         raise SystemExit("--executor process is wired through the direct "
                          "RHF builder; use --method hf on a closed-shell "
                          "molecule")
+    tracer = Tracer(name=f"scf:{mol.name or 'molecule'}") \
+        if (args.trace or args.profile) else None
+    config = ExecutionConfig(executor=args.executor, nworkers=args.nworkers,
+                             pool_timeout=pool_timeout, tracer=tracer,
+                             profile=args.profile)
+    label = args.method.upper()
     if args.method == "uhf" or mol.multiplicity > 1:
         from repro.scf import run_uhf
 
+        # the UHF driver predates ExecutionConfig and is untraced
         res = run_uhf(mol, basis=args.basis)
-        print(f"E(UHF/{args.basis}) = {res.energy:.8f} Ha  "
-              f"converged={res.converged} niter={res.niter}")
-        print(f"<S^2> = {res.s_squared():.4f}")
+        say(f"E(UHF/{args.basis}) = {res.energy:.8f} Ha  "
+            f"converged={res.converged} niter={res.niter}")
+        say(f"<S^2> = {res.s_squared():.4f}")
+        label = "UHF"
     elif args.method == "hf":
         from repro.scf import run_rhf
 
-        kwargs = {}
-        if args.executor == "process":
-            from repro.runtime.pool import default_nworkers
-
-            nworkers = args.nworkers or default_nworkers()
-            kwargs.update(mode="direct", executor="process",
-                          nworkers=nworkers)
-            print(f"executor: process pool, {nworkers} workers "
-                  "(direct J/K builds)")
+        kwargs = {"config": config}
+        if config.executor == "process":
+            kwargs["mode"] = "direct"
+            say(f"executor: process pool, "
+                f"{config.nworkers or default_nworkers()} workers "
+                "(direct J/K builds)")
         elif args.mode:
             kwargs["mode"] = args.mode
         res = run_rhf(mol, basis=args.basis, **kwargs)
-        print(f"E(RHF/{args.basis}) = {res.energy:.8f} Ha  "
-              f"converged={res.converged} niter={res.niter}")
-        print(f"E_x(exact) = {res.exchange_energy:.6f} Ha   "
-              f"gap = {res.homo_lumo_gap():.4f} Ha")
+        say(f"E(RHF/{args.basis}) = {res.energy:.8f} Ha  "
+            f"converged={res.converged} niter={res.niter}")
+        say(f"E_x(exact) = {res.exchange_energy:.6f} Ha   "
+            f"gap = {res.homo_lumo_gap():.4f} Ha")
+        label = "RHF"
     else:
         from repro.scf.dft import run_rks
 
-        res = run_rks(mol, basis=args.basis, functional=args.method)
-        print(f"E({args.method.upper()}/{args.basis}) = "
-              f"{res.energy:.8f} Ha  converged={res.converged} "
-              f"niter={res.niter}")
+        res = run_rks(mol, basis=args.basis, functional=args.method,
+                      config=config)
+        say(f"E({label}/{args.basis}) = "
+            f"{res.energy:.8f} Ha  converged={res.converged} "
+            f"niter={res.niter}")
+    if tracer is not None and args.trace:
+        nspans = tracer.write_chrome_trace(args.trace)
+        print(f"trace: {nspans} spans -> {args.trace}",
+              file=sys.stderr if quiet else sys.stdout)
+    if tracer is not None and args.profile and not quiet:
+        from repro.analysis.report import profile_table
+
+        print(profile_table(tracer.snapshot(),
+                            title=f"profile: {label}/{args.basis}"))
+    if quiet:
+        out = {
+            "molecule": {"name": mol.name, "natom": mol.natom,
+                         "nelectron": mol.nelectron, "charge": mol.charge,
+                         "multiplicity": mol.multiplicity},
+            "method": label, "basis": args.basis,
+            "scf": res.summary() if hasattr(res, "summary") else {
+                "energy": float(res.energy),
+                "converged": bool(res.converged),
+                "niter": int(res.niter),
+            },
+        }
+        if tracer is not None:
+            out["telemetry"] = tracer.snapshot().summary()
+        print(json.dumps(out, indent=2, sort_keys=True))
     return 0
 
 
@@ -178,6 +221,19 @@ def _cmd_liair(args) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer with a clear error."""
+    try:
+        n = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}") from None
+    if n <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {n}")
+    return n
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     p = argparse.ArgumentParser(
@@ -205,9 +261,17 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["serial", "process"],
                     help="where direct J/K builds run: in-process or on a "
                          "persistent local worker pool")
-    ps.add_argument("--nworkers", type=int, default=None,
+    ps.add_argument("--nworkers", type=_positive_int, default=None,
                     help="worker count for --executor process "
                          "(default: usable cores)")
+    ps.add_argument("--trace", metavar="FILE",
+                    help="write a Chrome-trace JSON of the run "
+                         "(chrome://tracing / Perfetto)")
+    ps.add_argument("--profile", action="store_true",
+                    help="print a per-span profile table after the run")
+    ps.add_argument("--json", action="store_true",
+                    help="emit the result (and telemetry summary, when "
+                         "traced) as JSON on stdout")
     ps.set_defaults(func=_cmd_scf)
 
     pw = sub.add_parser("workload", help="generate an HFX workload")

@@ -36,15 +36,17 @@ class IncrementalExchange:
     """
 
     def __init__(self, basis: BasisSet, eps: float = 1e-10,
-                 rebuild_every: int = 8, executor: str = "serial",
-                 nworkers: int | None = None, pool=None):
-        if executor not in ("serial", "process"):
-            raise ValueError(
-                f"executor must be 'serial' or 'process', got {executor!r}")
+                 rebuild_every: int = 8, executor: str | None = None,
+                 nworkers: int | None = None, pool=None, config=None):
+        from ..runtime.execconfig import resolve_execution
+
+        self.config = resolve_execution(config, executor=executor,
+                                        nworkers=nworkers,
+                                        owner="IncrementalExchange")
         self.basis = basis
         self.eps = eps
         self.rebuild_every = rebuild_every
-        self.executor = executor
+        self.executor = self.config.executor
         self.engine = ERIEngine(basis)
         self.Q = self.engine.schwarz_bounds()
         self._keys = sorted(self.Q)
@@ -56,12 +58,14 @@ class IncrementalExchange:
         self.total_quartets_full = 0
         self._pool = None
         self._owns_pool = False
-        if executor == "process":
+        if self.executor == "process":
             from ..runtime.pool import ExchangeWorkerPool
 
             if pool is not None and pool.basis is not basis:
                 pool.reset(basis)
-            self._pool = pool or ExchangeWorkerPool(basis, nworkers=nworkers)
+            self._pool = pool or ExchangeWorkerPool(
+                basis, nworkers=self.config.nworkers,
+                timeout=self.config.pool_timeout)
             self._owns_pool = pool is None
 
     def close(self) -> None:
@@ -115,40 +119,52 @@ class IncrementalExchange:
 
     def update(self, D: np.ndarray) -> np.ndarray:
         """Advance to density ``D``; returns the current K estimate."""
+        tr = self.config.trace
         full = (self.builds % self.rebuild_every == 0)
-        dD = D - self.D_ref if not full else D.copy()
-        if full:
-            self.K[:] = 0.0
-        dmax = self._block_max(dD)
-        surviving, computed, skipped = self._screen(dmax)
-        Kdelta = np.zeros_like(self.K)
-        if self.executor == "process":
-            from ..runtime.pool import RankJob
+        with tr.span("kinc.update", cat="hfx", full=full,
+                     build=self.builds):
+            dD = D - self.D_ref if not full else D.copy()
+            if full:
+                self.K[:] = 0.0
+            with tr.span("kinc.screen", cat="screening", eps=self.eps):
+                dmax = self._block_max(dD)
+                surviving, computed, skipped = self._screen(dmax)
+            Kdelta = np.zeros_like(self.K)
+            if self.executor == "process":
+                from ..runtime.pool import RankJob
 
-            jobs = [RankJob(rank=w) for w in range(self._pool.nworkers)]
-            for (i, j, kets) in sorted(surviving, key=lambda p: -len(p[2])):
-                w = min(range(len(jobs)), key=lambda w: jobs[w].cost)
-                jobs[w].pairs.append((i, j, kets))
-                jobs[w].cost += len(kets)
-            results, nq = self._pool.exchange(dD, jobs, want_j=False,
-                                              want_k=True)
-            for _, Kw in results.values():
-                Kdelta += Kw
-            # keep the parent engine's counter consistent with the
-            # serial executor, where quartet() counts every evaluation
-            self.engine.quartets_computed += nq
-        else:
-            for (i, j, kets) in surviving:
-                for (k, l) in kets:
-                    block = self.engine.quartet(i, j, int(k), int(l))
-                    scatter_exchange(self.basis, Kdelta, block, dD,
-                                     (i, j, int(k), int(l)))
-        self.K += Kdelta
+                jobs = [RankJob(rank=w) for w in range(self._pool.nworkers)]
+                for (i, j, kets) in sorted(surviving,
+                                           key=lambda p: -len(p[2])):
+                    w = min(range(len(jobs)), key=lambda w: jobs[w].cost)
+                    jobs[w].pairs.append((i, j, kets))
+                    jobs[w].cost += len(kets)
+                results, nq = self._pool.exchange(dD, jobs, want_j=False,
+                                                  want_k=True, tracer=tr)
+                for _, Kw in results.values():
+                    Kdelta += Kw
+                # keep the parent engine's counter consistent with the
+                # serial executor, where quartet() counts every evaluation
+                self.engine.quartets_computed += nq
+            else:
+                for (i, j, kets) in surviving:
+                    with tr.span("kinc.quartet_batch", cat="quartets",
+                                 nkets=len(kets)):
+                        for (k, l) in kets:
+                            block = self.engine.quartet(i, j, int(k), int(l))
+                            scatter_exchange(self.basis, Kdelta, block, dD,
+                                             (i, j, int(k), int(l)))
+            self.K += Kdelta
         self.D_ref = D.copy()
         self.builds += 1
         self.last_quartets = computed
         self.total_quartets_incremental += computed
         self.total_quartets_full += computed + skipped
+        if tr.enabled:
+            tr.metrics.count("kinc.builds", 1)
+            tr.metrics.count("kinc.quartets", computed)
+            tr.metrics.count("kinc.quartets_skipped", skipped)
+            tr.metrics.absorb_engine(self.engine)
         return self.K.copy()
 
     @property

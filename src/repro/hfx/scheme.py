@@ -35,6 +35,7 @@ allreduce.  The serial executor remains the reference.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,6 +46,8 @@ from ..machine.bgq import BGQConfig
 from ..machine.node import NodeComputeModel
 from ..machine.simulator import BuildTiming, CommPlan, simulate_static_build
 from ..runtime.comm import CommLog, SimWorld
+from ..runtime.execconfig import (DEFAULT_EXECUTION, ExecutionConfig,
+                                  resolve_execution)
 from ..scf.fock import scatter_exchange
 from .partition import Partition, partition_tasks
 from .tasklist import TaskList, build_tasklist
@@ -93,6 +96,11 @@ class HFXScheme:
     orbital_partners:
         Significant exchange partners per localized orbital (allreduce
         payload model).
+    config:
+        :class:`repro.runtime.ExecutionConfig` for :meth:`execute` (and
+        the telemetry sink :meth:`simulate` records its logical phase
+        spans into).  The legacy ``executor=``/``nworkers=`` fields
+        still work behind a deprecation shim.
     """
 
     tasks: TaskList
@@ -105,6 +113,26 @@ class HFXScheme:
     dilation: float = 1.0
     executor: str = "serial"
     nworkers: int | None = None
+    config: ExecutionConfig | None = None
+
+    def __post_init__(self) -> None:
+        legacy = self.executor != "serial" or self.nworkers is not None
+        if legacy:
+            if self.config is not None:
+                raise ValueError(
+                    "HFXScheme: pass either config=ExecutionConfig(...) or "
+                    "the legacy executor=/nworkers= fields, not both")
+            warnings.warn(
+                "HFXScheme(executor=/nworkers=) is deprecated; pass "
+                "config=ExecutionConfig(...) instead",
+                DeprecationWarning, stacklevel=3)
+            self.config = ExecutionConfig(executor=self.executor,
+                                          nworkers=self.nworkers)
+        elif self.config is None:
+            self.config = DEFAULT_EXECUTION
+        # keep the legacy fields readable for existing callers
+        self.executor = self.config.executor
+        self.nworkers = self.config.nworkers
 
     def plan(self) -> Partition:
         """Static partition of the pair tasks."""
@@ -129,10 +157,24 @@ class HFXScheme:
             chunk = int(np.clip(mean_nq / (threads * 4.0), 1, 8))
             node = NodeComputeModel(self.cfg, chunk=chunk)
         comm = scheme_comm_plan(self.tasks, self.cfg, self.orbital_partners)
-        return simulate_static_build(
+        bt = simulate_static_build(
             rank_flops, rank_nq, self.cfg, comm, node=node,
             collective_algorithm=self.collective_algorithm,
             dilation=self.dilation)
+        tr = self.config.trace
+        if tr.enabled:
+            # the simulated build's phases as logical spans (simulated
+            # seconds, separate timeline from the wall-clock spans)
+            t = 0.0
+            for phase in ("compute", "allgather", "allreduce", "bcast"):
+                dur = bt.breakdown.get(phase, 0.0)
+                if dur > 0.0:
+                    tr.add_logical(f"sim.{phase}", t, t + dur,
+                                   nranks=bt.nranks)
+                    t += dur
+            tr.metrics.set("sim.makespan", bt.makespan)
+            tr.metrics.set("sim.total_flops", bt.total_flops)
+        return bt
 
     def execute(self, basis: BasisSet, D: np.ndarray,
                 nranks: int | None = None, pool=None
@@ -145,7 +187,7 @@ class HFXScheme:
         return distributed_exchange(
             basis, D, self.cfg.nranks if nranks is None else nranks,
             eps=self.tasks.eps, partitioner=self.partitioner,
-            executor=self.executor, nworkers=self.nworkers, pool=pool)
+            config=self.config, pool=pool)
 
 
 def _rank_jobs(tasks: TaskList, part: Partition, nranks: int) -> list:
@@ -165,10 +207,11 @@ def _rank_jobs(tasks: TaskList, part: Partition, nranks: int) -> list:
 def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
                          eps: float = 1e-10,
                          partitioner: str = "serpentine",
-                         executor: str = "serial",
+                         executor: str | None = None,
                          nworkers: int | None = None,
                          pool=None,
-                         engine: ERIEngine | None = None
+                         engine: ERIEngine | None = None,
+                         config: ExecutionConfig | None = None
                          ) -> tuple[np.ndarray, CommLog, TaskList, Partition]:
     """Actually execute the distributed exchange build (real integrals)
     over ``nranks`` simulated ranks.
@@ -177,51 +220,70 @@ def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
     and scatters them into a local partial K; a final allreduce sums the
     partials.  Returns ``(K, comm_log, tasks, partition)``.
 
-    ``executor="serial"`` (the reference) runs the rank loop in-process;
-    ``executor="process"`` dispatches the same per-rank batches to a
-    persistent worker pool (``nworkers`` processes, or an externally
-    owned ``pool``) so the build really runs on multiple cores.  Both
-    paths accumulate identical per-rank partials, so they agree to
-    reduction roundoff.
+    ``config`` (an :class:`repro.runtime.ExecutionConfig`) selects the
+    executor and carries the telemetry sinks; the legacy ``executor=``/
+    ``nworkers=`` kwargs still work behind a deprecation shim.
+    ``config.executor="serial"`` (the reference) runs the rank loop
+    in-process; ``"process"`` dispatches the same per-rank batches to a
+    persistent worker pool (``config.nworkers`` processes, or an
+    externally owned ``pool``) so the build really runs on multiple
+    cores.  Both paths accumulate identical per-rank partials, so they
+    agree to reduction roundoff.
     """
-    if executor not in ("serial", "process"):
-        raise ValueError(
-            f"executor must be 'serial' or 'process', got {executor!r}")
+    cfg = resolve_execution(config, executor=executor, nworkers=nworkers,
+                            owner="distributed_exchange")
+    tr = cfg.trace
     if engine is None:
         engine = ERIEngine(basis)
-    tasks = build_tasklist(basis, eps, engine=engine)
-    part = partition_tasks(tasks.flops, nranks, partitioner)
-    world = SimWorld(nranks)
-    nbf = basis.nbf
-    if executor == "process":
-        from ..runtime.pool import ExchangeWorkerPool
+    with tr.span("hfx.build", cat="hfx", nranks=nranks,
+                 executor=cfg.executor):
+        with tr.span("hfx.screening", cat="screening", eps=eps):
+            tasks = build_tasklist(basis, eps, engine=engine)
+        with tr.span("hfx.partition", cat="hfx", partitioner=partitioner):
+            part = partition_tasks(tasks.flops, nranks, partitioner)
+        world = SimWorld(nranks)
+        nbf = basis.nbf
+        if cfg.executor == "process":
+            from ..runtime.pool import ExchangeWorkerPool
 
-        jobs = _rank_jobs(tasks, part, nranks)
-        owns = pool is None
-        if owns:
-            pool = ExchangeWorkerPool(basis, nworkers=nworkers)
-        elif pool.basis is not basis:
-            pool.reset(basis)
-        try:
-            results, nq = pool.exchange(D, jobs, want_j=False, want_k=True)
-        finally:
+            jobs = _rank_jobs(tasks, part, nranks)
+            owns = pool is None
             if owns:
-                pool.close()
-        # fold the workers' evaluations into the parent engine so the
-        # counter stays consistent across executors
-        engine.quartets_computed += nq
-        partials = [results[r][1] for r in range(nranks)]
-    else:
-        partials = []
-        for rank in range(nranks):
-            Kr = np.zeros((nbf, nbf))
-            my = np.where(part.rank_of_task == rank)[0]
-            for t in my:
-                i, j = map(int, tasks.pair_index[t])
-                for (k, l) in tasks.ket_lists[t]:
-                    block = engine.quartet(i, j, int(k), int(l))
-                    scatter_exchange(basis, Kr, block, D,
-                                     (i, j, int(k), int(l)))
-            partials.append(Kr)
-    summed = world.allreduce_sum(partials)
+                with tr.span("pool.spawn", cat="pool"):
+                    pool = ExchangeWorkerPool(basis, nworkers=cfg.nworkers,
+                                              timeout=cfg.pool_timeout)
+            elif pool.basis is not basis:
+                pool.reset(basis)
+            try:
+                results, nq = pool.exchange(D, jobs, want_j=False,
+                                            want_k=True, tracer=tr)
+            finally:
+                if owns:
+                    pool.close()
+            # fold the workers' evaluations into the parent engine so the
+            # counter stays consistent across executors
+            engine.quartets_computed += nq
+            partials = [results[r][1] for r in range(nranks)]
+        else:
+            partials = []
+            for rank in range(nranks):
+                my = np.where(part.rank_of_task == rank)[0]
+                with tr.span("hfx.rank", cat="hfx", rank=rank,
+                             ntasks=len(my)):
+                    Kr = np.zeros((nbf, nbf))
+                    for t in my:
+                        i, j = map(int, tasks.pair_index[t])
+                        with tr.span("hfx.quartet_batch", cat="quartets",
+                                     nkets=len(tasks.ket_lists[t])):
+                            for (k, l) in tasks.ket_lists[t]:
+                                block = engine.quartet(i, j, int(k), int(l))
+                                scatter_exchange(basis, Kr, block, D,
+                                                 (i, j, int(k), int(l)))
+                    partials.append(Kr)
+        with tr.span("hfx.reduce", cat="comm"):
+            summed = world.allreduce_sum(partials)
+    if tr.enabled:
+        tr.metrics.absorb_commlog(world.log)
+        tr.metrics.absorb_engine(engine)
+        tr.metrics.count("hfx.builds", 1)
     return summed[0], world.log, tasks, part

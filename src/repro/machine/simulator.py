@@ -78,6 +78,26 @@ class BuildTiming:
         """Fraction of the makespan spent computing on the critical rank."""
         return self.compute_time / self.makespan if self.makespan > 0 else 1.0
 
+    def summary(self) -> dict:
+        """Compact scalar surface (tables, CLI JSON)."""
+        return {
+            "makespan": float(self.makespan),
+            "compute_time": float(self.compute_time),
+            "comm_time": float(self.comm_time),
+            "compute_fraction": float(self.compute_fraction),
+            "imbalance": float(self.imbalance),
+            "total_flops": float(self.total_flops),
+            "nranks": int(self.nranks),
+            "nthreads": int(self.nthreads),
+        }
+
+    def to_dict(self) -> dict:
+        """Full JSON-serializable dump."""
+        d = self.summary()
+        d["breakdown"] = {k: float(v) for k, v in self.breakdown.items()}
+        d["rank_compute"] = [float(t) for t in self.rank_compute]
+        return d
+
 
 def _rank_compute_times(rank_flops: np.ndarray,
                         rank_ntasks: np.ndarray,

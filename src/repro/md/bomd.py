@@ -17,11 +17,13 @@ Two paper-specific behaviors are reproduced:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..chem.molecule import Molecule
+from ..runtime.execconfig import DEFAULT_EXECUTION, ExecutionConfig
 from ..scf.dft import RKS
 from ..scf.rhf import RHF, SCFResult
 
@@ -42,13 +44,14 @@ class SCFForceEngine:
         Central-difference displacement in Bohr.
     reuse_density:
         Seed each SCF with the previous converged density.
-    executor:
-        ``"serial"`` or ``"process"``: with ``"process"`` (HF only), a
-        single persistent worker pool is spawned at the first SCF and
-        reused by every build of the trajectory — each new geometry
-        re-targets the live workers instead of respawning them.
-    nworkers:
-        Pool size for ``executor="process"``.
+    config:
+        :class:`repro.runtime.ExecutionConfig`: with
+        ``executor="process"`` (HF only), a single persistent worker
+        pool is spawned at the first SCF and reused by every build of
+        the trajectory — each new geometry re-targets the live workers
+        instead of respawning them.  Its tracer (if any) records the
+        per-step force-evaluation spans.  The legacy ``executor=``/
+        ``nworkers=`` fields still work behind a deprecation shim.
     """
 
     mol: Molecule
@@ -59,15 +62,29 @@ class SCFForceEngine:
     conv_tol: float = 1e-8
     executor: str = "serial"
     nworkers: int | None = None
+    config: ExecutionConfig | None = None
     scf_kwargs: dict = field(default_factory=dict)
     last_result: SCFResult | None = None
     scf_iterations: list[int] = field(default_factory=list)
     _pool: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        if self.executor not in ("serial", "process"):
-            raise ValueError("executor must be 'serial' or 'process', "
-                             f"got {self.executor!r}")
+        legacy = self.executor != "serial" or self.nworkers is not None
+        if legacy:
+            if self.config is not None:
+                raise ValueError(
+                    "SCFForceEngine: pass either config=ExecutionConfig(...)"
+                    " or the legacy executor=/nworkers= fields, not both")
+            warnings.warn(
+                "SCFForceEngine(executor=/nworkers=) is deprecated; pass "
+                "config=ExecutionConfig(...) instead",
+                DeprecationWarning, stacklevel=3)
+            self.config = ExecutionConfig(executor=self.executor,
+                                          nworkers=self.nworkers)
+        elif self.config is None:
+            self.config = DEFAULT_EXECUTION
+        self.executor = self.config.executor
+        self.nworkers = self.config.nworkers
         if self.executor == "process" and self.method.lower() != "hf":
             raise ValueError("executor='process' is wired through the "
                              "direct RHF builder; use method='hf'")
@@ -80,6 +97,7 @@ class SCFForceEngine:
 
     def _solver(self, mol: Molecule):
         kwargs = dict(self.scf_kwargs)
+        kwargs.setdefault("config", self.config)
         if self.method.lower() == "hf":
             if self.executor == "process":
                 from ..basis.basisset import build_basis
@@ -87,10 +105,11 @@ class SCFForceEngine:
 
                 basis = build_basis(mol, self.basis)
                 if self._pool is None:
-                    self._pool = ExchangeWorkerPool(basis,
-                                                    nworkers=self.nworkers)
+                    self._pool = ExchangeWorkerPool(
+                        basis, nworkers=self.config.nworkers,
+                        timeout=self.config.pool_timeout)
                 kwargs.setdefault("mode", "direct")
-                kwargs.update(executor="process", jk_pool=self._pool)
+                kwargs.update(jk_pool=self._pool)
                 return RHF(basis.molecule, basis, conv_tol=self.conv_tol,
                            **kwargs)
             return RHF(mol, self.basis, conv_tol=self.conv_tol, **kwargs)
@@ -110,20 +129,27 @@ class SCFForceEngine:
         coords = np.asarray(coords, dtype=np.float64)
         D0 = self.last_result.D if (self.reuse_density and
                                     self.last_result is not None) else None
-        base = self._energy(coords, D0)
-        self.last_result = base
-        self.scf_iterations.append(base.niter)
-        h = self.fd_step
+        tr = self.config.trace
         n = len(coords)
-        F = np.zeros((n, 3))
-        for a in range(n):
-            for d in range(3):
-                cp = coords.copy()
-                cp[a, d] += h
-                ep = self._energy(cp, base.D).energy
-                cp[a, d] -= 2 * h
-                em = self._energy(cp, base.D).energy
-                F[a, d] = -(ep - em) / (2 * h)
+        with tr.span("md.force_eval", cat="md", natoms=n):
+            with tr.span("md.scf", cat="md"):
+                base = self._energy(coords, D0)
+            self.last_result = base
+            self.scf_iterations.append(base.niter)
+            h = self.fd_step
+            F = np.zeros((n, 3))
+            with tr.span("md.fd", cat="md", ndisplacements=6 * n):
+                for a in range(n):
+                    for d in range(3):
+                        cp = coords.copy()
+                        cp[a, d] += h
+                        ep = self._energy(cp, base.D).energy
+                        cp[a, d] -= 2 * h
+                        em = self._energy(cp, base.D).energy
+                        F[a, d] = -(ep - em) / (2 * h)
+        if tr.enabled:
+            tr.metrics.count("md.force_evals", 1)
+            tr.metrics.count("md.scf_iterations", base.niter)
         return base.energy, F
 
 
@@ -144,9 +170,26 @@ class BOMD:
     analytic_forces: bool = False
     executor: str = "serial"
     nworkers: int | None = None
+    config: ExecutionConfig | None = None
     engine: object = field(init=False)
 
     def __post_init__(self) -> None:
+        legacy = self.executor != "serial" or self.nworkers is not None
+        if legacy:
+            if self.config is not None:
+                raise ValueError(
+                    "BOMD: pass either config=ExecutionConfig(...) or the "
+                    "legacy executor=/nworkers= fields, not both")
+            warnings.warn(
+                "BOMD(executor=/nworkers=) is deprecated; pass "
+                "config=ExecutionConfig(...) instead",
+                DeprecationWarning, stacklevel=3)
+            self.config = ExecutionConfig(executor=self.executor,
+                                          nworkers=self.nworkers)
+        elif self.config is None:
+            self.config = DEFAULT_EXECUTION
+        self.executor = self.config.executor
+        self.nworkers = self.config.nworkers
         if self.analytic_forces:
             if self.method.lower() != "hf":
                 raise ValueError("analytic forces are implemented for "
@@ -159,8 +202,7 @@ class BOMD:
             self.engine = AnalyticSCFForceEngine(self.mol, self.basis)
         else:
             self.engine = SCFForceEngine(self.mol, self.method, self.basis,
-                                         executor=self.executor,
-                                         nworkers=self.nworkers)
+                                         config=self.config)
 
     def run(self, nsteps: int):
         """Integrate ``nsteps`` of BOMD; returns the trajectory."""

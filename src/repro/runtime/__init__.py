@@ -1,17 +1,27 @@
 """Parallel runtime: MPI-like communicator, OpenMP-like thread teams,
-QPX-like SIMD model, tracing — plus the process-pool backend that runs
-the HFX rank loop on real local cores."""
+QPX-like SIMD model, the process-pool backend that runs the HFX rank
+loop on real local cores, and the telemetry layer (hierarchical span
+tracer + metrics registry) behind the unified :class:`ExecutionConfig`
+API."""
 
 from .comm import CommLog, SimComm, SimWorld
 from .threads import ScheduleResult, ThreadTeam
 from .simd import SIMDModel, KernelProfile, ERI_KERNEL, DGEMM_KERNEL, SCALAR_KERNEL
 from .trace import Timer, Trace, TraceEvent
-from .pool import ExchangeWorkerPool, RankJob, default_nworkers
+from .telemetry import (Span, Tracer, NullTracer, NULL_TRACER,
+                        MetricsRegistry, TelemetrySnapshot, chrome_trace)
+from .execconfig import ExecutionConfig, DEFAULT_EXECUTION, resolve_execution
+from .pool import (ExchangeWorkerPool, RankJob, default_nworkers,
+                   resolve_pool_timeout)
 
 __all__ = [
     "CommLog", "SimComm", "SimWorld",
     "ScheduleResult", "ThreadTeam",
     "SIMDModel", "KernelProfile", "ERI_KERNEL", "DGEMM_KERNEL", "SCALAR_KERNEL",
     "Timer", "Trace", "TraceEvent",
+    "Span", "Tracer", "NullTracer", "NULL_TRACER",
+    "MetricsRegistry", "TelemetrySnapshot", "chrome_trace",
+    "ExecutionConfig", "DEFAULT_EXECUTION", "resolve_execution",
     "ExchangeWorkerPool", "RankJob", "default_nworkers",
+    "resolve_pool_timeout",
 ]

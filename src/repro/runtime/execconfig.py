@@ -1,0 +1,118 @@
+"""Unified execution configuration for every SCF/HFX/MD entry point.
+
+PR 1 grew ad-hoc ``executor=``/``nworkers=`` keyword pairs on six call
+sites (``run_rhf``, ``HFXScheme``, ``distributed_exchange``,
+``DirectJKBuilder``, ``IncrementalExchange``, ``BOMD``).  This module
+replaces them with one frozen :class:`ExecutionConfig` value that also
+carries the telemetry sinks, threaded through every layer as
+``config=``.  The legacy kwargs still work through
+:func:`resolve_execution`, which emits a :class:`DeprecationWarning`
+and builds the equivalent config.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+from .telemetry import NULL_TRACER, Tracer
+
+__all__ = ["ExecutionConfig", "DEFAULT_EXECUTION", "resolve_execution"]
+
+_EXECUTORS = ("serial", "process")
+
+
+@dataclass(frozen=True, eq=False)
+class ExecutionConfig:
+    """Where and how the hot paths execute, and what observes them.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (in-process reference) or ``"process"`` (persistent
+        local worker pool).
+    nworkers:
+        Pool size for ``executor="process"`` (default: usable cores).
+    pool_timeout:
+        Seconds any single pool wait may take before the pool declares a
+        worker hung (default: ``REPRO_POOL_TIMEOUT`` or 120 s).
+    tracer:
+        Telemetry sink (:class:`repro.runtime.telemetry.Tracer`) or
+        ``None`` for the zero-cost disabled path.
+    profile:
+        Request a per-build profile table from the CLI/driver layer
+        (implies nothing inside the libraries beyond ``tracer``).
+    """
+
+    executor: str = "serial"
+    nworkers: int | None = None
+    pool_timeout: float | None = None
+    tracer: Tracer | None = None
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be 'serial' or 'process', "
+                f"got {self.executor!r}")
+        if self.nworkers is not None:
+            if not isinstance(self.nworkers, int) or \
+                    isinstance(self.nworkers, bool):
+                raise ValueError(
+                    f"nworkers must be a positive integer, "
+                    f"got {self.nworkers!r}")
+            if self.nworkers < 1:
+                raise ValueError(
+                    f"nworkers must be >= 1, got {self.nworkers}")
+        if self.pool_timeout is not None:
+            try:
+                ok = float(self.pool_timeout) > 0
+            except (TypeError, ValueError):
+                ok = False
+            if not ok:
+                raise ValueError(
+                    f"pool_timeout must be a positive number of seconds, "
+                    f"got {self.pool_timeout!r}")
+
+    @property
+    def trace(self) -> Tracer:
+        """The active tracer — never ``None`` (no-op when disabled)."""
+        return self.tracer if self.tracer is not None else NULL_TRACER
+
+    def replace(self, **changes) -> "ExecutionConfig":
+        """A copy with the given fields changed."""
+        return replace(self, **changes)
+
+
+#: The default: serial execution, telemetry disabled.
+DEFAULT_EXECUTION = ExecutionConfig()
+
+
+def resolve_execution(config: ExecutionConfig | None = None, *,
+                      executor: str | None = None,
+                      nworkers: int | None = None,
+                      pool_timeout: float | None = None,
+                      owner: str = "this API") -> ExecutionConfig:
+    """Fold legacy ``executor=``/``nworkers=`` kwargs into a config.
+
+    The deprecation shim of the ExecutionConfig migration: call sites
+    accept both styles, the legacy one warns, and mixing them is an
+    error (the caller's intent would be ambiguous).
+    """
+    legacy = {k: v for k, v in (("executor", executor),
+                                ("nworkers", nworkers),
+                                ("pool_timeout", pool_timeout))
+              if v is not None}
+    if legacy:
+        names = "/".join(f"{k}=" for k in legacy)
+        if config is not None:
+            raise ValueError(
+                f"{owner}: pass either config=ExecutionConfig(...) or the "
+                f"legacy {names} kwargs, not both")
+        warnings.warn(
+            f"{owner}: the {names} kwargs are deprecated; pass "
+            "config=ExecutionConfig(...) instead (the kwargs will be "
+            "removed after a deprecation window)",
+            DeprecationWarning, stacklevel=3)
+        config = ExecutionConfig(**legacy)
+    return config if config is not None else DEFAULT_EXECUTION

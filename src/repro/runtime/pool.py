@@ -39,12 +39,63 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RankJob", "ExchangeWorkerPool", "default_nworkers"]
+__all__ = ["RankJob", "ExchangeWorkerPool", "default_nworkers",
+           "resolve_pool_timeout"]
 
 # Hard ceiling on any single wait for a worker reply; a forked worker
 # that wedges (e.g. a BLAS lock inherited mid-acquisition) surfaces as
-# a RuntimeError instead of a hung test session.
-DEFAULT_TIMEOUT = float(os.environ.get("REPRO_POOL_TIMEOUT", "120"))
+# a RuntimeError instead of a hung test session.  REPRO_POOL_TIMEOUT
+# overrides (validated in resolve_pool_timeout, not at import).
+DEFAULT_TIMEOUT = 120.0
+
+
+def resolve_pool_timeout(value=None) -> float:
+    """Validate a pool timeout (or the ``REPRO_POOL_TIMEOUT`` override).
+
+    This is the env/API boundary check: a typo'd override fails here
+    with a clear message instead of as a deep traceback inside a
+    blocking pool wait.
+    """
+    if value is None:
+        raw = os.environ.get("REPRO_POOL_TIMEOUT")
+        if raw is None:
+            return DEFAULT_TIMEOUT
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                "REPRO_POOL_TIMEOUT must be a positive number of "
+                f"seconds, got {raw!r}") from None
+        if not value > 0:
+            raise ValueError(
+                "REPRO_POOL_TIMEOUT must be a positive number of "
+                f"seconds, got {raw!r}")
+        return value
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"pool timeout must be a positive number of seconds, "
+            f"got {value!r}") from None
+    if not value > 0:
+        raise ValueError(
+            f"pool timeout must be a positive number of seconds, "
+            f"got {value!r}")
+    return value
+
+
+def resolve_nworkers(value=None) -> int:
+    """Validate a worker count (``None`` means the usable cores)."""
+    if value is None:
+        return default_nworkers()
+    try:
+        nw = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"nworkers must be a positive integer, got {value!r}") from None
+    if nw < 1:
+        raise ValueError(f"need at least one worker, got nworkers={nw}")
+    return nw
 
 
 def default_nworkers() -> int:
@@ -89,6 +140,11 @@ def _worker_main(conn, dbuf, basis, nbf: int) -> None:
     Runs in the child process.  The engine (shell pairs) is rebuilt
     locally from the fork-inherited basis; the density is read from the
     shared buffer, so an ``exec`` message carries only index arrays.
+
+    Every reply is ``(status, payload, nquartets, timings)``; for
+    ``exec``, ``timings`` lists one ``(rank, t0, t1, nq)`` record per
+    rank batch (``perf_counter`` is CLOCK_MONOTONIC under fork, so the
+    parent's tracer can graft the spans onto its own timeline).
     """
     import traceback
 
@@ -113,19 +169,22 @@ def _worker_main(conn, dbuf, basis, nbf: int) -> None:
                         f"reset changed nbf {nbf} -> {basis.nbf}; the "
                         "shared density buffer is sized at pool creation")
                 engine = ERIEngine(basis)
-                conn.send(("ok", None, 0))
+                conn.send(("ok", None, 0, None))
             elif cmd == "exec":
                 jobs, want_j, want_k = msg[1], msg[2], msg[3]
                 results = []
+                timings = []
                 nq = 0
                 for rank, pairs in jobs:
+                    t0 = time.perf_counter()
+                    nq_rank = 0
                     J = np.zeros((nbf, nbf)) if want_j else None
                     K = np.zeros((nbf, nbf)) if want_k else None
                     for (i, j, kets) in pairs:
                         for (k, l) in kets:
                             k, l = int(k), int(l)
                             block = engine.quartet(i, j, k, l)
-                            nq += 1
+                            nq_rank += 1
                             if J is not None:
                                 scatter_coulomb(basis, J, block, D,
                                                 (i, j, k, l))
@@ -133,13 +192,15 @@ def _worker_main(conn, dbuf, basis, nbf: int) -> None:
                                 scatter_exchange(basis, K, block, D,
                                                  (i, j, k, l))
                     results.append((rank, J, K))
-                conn.send(("ok", results, nq))
+                    timings.append((rank, t0, time.perf_counter(), nq_rank))
+                    nq += nq_rank
+                conn.send(("ok", results, nq, timings))
             elif cmd == "ping":
-                conn.send(("ok", None, 0))
+                conn.send(("ok", None, 0, None))
             else:
                 raise ValueError(f"unknown pool command {cmd!r}")
         except Exception:
-            conn.send(("err", traceback.format_exc(), 0))
+            conn.send(("err", traceback.format_exc(), 0, None))
     conn.close()
 
 
@@ -155,20 +216,19 @@ class ExchangeWorkerPool:
         Pool size (default: the usable core count).
     timeout:
         Seconds any single wait for a worker may take before the pool
-        declares the worker hung and raises.
+        declares the worker hung and raises (default: the validated
+        ``REPRO_POOL_TIMEOUT`` override, else 120 s).
     start_method:
         ``"fork"`` (default where available) shares the read-only state
         by inheritance; ``"spawn"`` is the portable fallback.
     """
 
     def __init__(self, basis, nworkers: int | None = None,
-                 timeout: float = DEFAULT_TIMEOUT,
+                 timeout: float | None = None,
                  start_method: str | None = None):
         self.basis = basis
-        self.nworkers = int(nworkers) if nworkers else default_nworkers()
-        if self.nworkers < 1:
-            raise ValueError("need at least one worker")
-        self.timeout = timeout
+        self.nworkers = resolve_nworkers(nworkers)
+        self.timeout = resolve_pool_timeout(timeout)
         self.quartets_computed = 0   # quartets evaluated by workers, total
         self.nbuilds = 0
         self._closed = False
@@ -257,13 +317,13 @@ class ExchangeWorkerPool:
         for conn in self._conns:
             conn.send(msg)
         for w in range(self.nworkers):
-            status, payload, _ = self._recv(w, deadline)
+            status, payload = self._recv(w, deadline)[:2]
             if status != "ok":
                 self.close(force=True)
                 raise RuntimeError(f"pool worker {w} failed:\n{payload}")
 
     def exchange(self, D: np.ndarray, jobs: list[RankJob],
-                 want_j: bool = False, want_k: bool = True
+                 want_j: bool = False, want_k: bool = True, tracer=None
                  ) -> tuple[dict[int, tuple[np.ndarray | None,
                                             np.ndarray | None]], int]:
         """Execute rank jobs against density ``D``.
@@ -273,7 +333,15 @@ class ExchangeWorkerPool:
         the unrequested one) and ``nquartets`` counts the quartets the
         workers evaluated — the caller folds it into its engine counter
         so the bookkeeping matches the serial path.
+
+        ``tracer`` (a :class:`repro.runtime.telemetry.Tracer`) records
+        the dispatch/wait phases and grafts each worker's per-rank
+        batch timings — shipped back over the result pipes — into the
+        trace as ``worker-N`` lanes.
         """
+        from .telemetry import NULL_TRACER
+
+        tr = tracer if tracer is not None else NULL_TRACER
         if self._closed:
             raise RuntimeError("pool is closed")
         D = np.asarray(D, dtype=np.float64)
@@ -281,25 +349,36 @@ class ExchangeWorkerPool:
             raise ValueError(f"density shape {D.shape} does not match "
                              f"the pool's basis ({self._D.shape})")
         self._D[:] = D
-        assign = _lpt_assign([job.cost for job in jobs], self.nworkers)
-        pending = []
-        for w, idxs in enumerate(assign):
-            if not idxs:
-                continue
-            payload = [(jobs[t].rank, jobs[t].pairs) for t in idxs]
-            self._conns[w].send(("exec", payload, want_j, want_k))
-            pending.append(w)
+        with tr.span("pool.dispatch", cat="pool", njobs=len(jobs),
+                     nworkers=self.nworkers):
+            assign = _lpt_assign([job.cost for job in jobs], self.nworkers)
+            pending = []
+            for w, idxs in enumerate(assign):
+                if not idxs:
+                    continue
+                payload = [(jobs[t].rank, jobs[t].pairs) for t in idxs]
+                self._conns[w].send(("exec", payload, want_j, want_k))
+                pending.append(w)
         results: dict[int, tuple[np.ndarray | None, np.ndarray | None]] = {}
         nq_total = 0
         deadline = time.monotonic() + self.timeout
-        for w in pending:
-            status, payload, nq = self._recv(w, deadline)
-            if status != "ok":
-                self.close(force=True)
-                raise RuntimeError(f"pool worker {w} failed:\n{payload}")
-            nq_total += nq
-            for rank, J, K in payload:
-                results[rank] = (J, K)
+        with tr.span("pool.wait", cat="pool", nworkers=len(pending)):
+            for w in pending:
+                status, payload, nq, timings = self._recv(w, deadline)
+                if status != "ok":
+                    self.close(force=True)
+                    raise RuntimeError(f"pool worker {w} failed:\n{payload}")
+                nq_total += nq
+                for rank, J, K in payload:
+                    results[rank] = (J, K)
+                if tr.enabled and timings:
+                    for rank, t0, t1, nq_rank in timings:
+                        tr.add_span("worker.quartet_batch", t0, t1,
+                                    cat="quartets", tid=f"worker-{w}",
+                                    rank=rank, nq=nq_rank)
         self.quartets_computed += nq_total
         self.nbuilds += 1
+        if tr.enabled:
+            tr.metrics.count("pool.builds", 1)
+            tr.metrics.count("pool.quartets", nq_total)
         return results, nq_total

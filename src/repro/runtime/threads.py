@@ -49,6 +49,23 @@ class ScheduleResult:
             return 0.0
         return float((self.thread_times.max() - mean) / mean)
 
+    def summary(self) -> dict:
+        """Compact scalar surface (tables, CLI JSON)."""
+        return {
+            "makespan": float(self.makespan),
+            "total_work": float(self.total_work),
+            "overhead": float(self.overhead),
+            "efficiency": float(self.efficiency),
+            "imbalance": float(self.imbalance),
+            "nthreads": int(len(self.thread_times)),
+        }
+
+    def to_dict(self) -> dict:
+        """Full JSON-serializable dump."""
+        d = self.summary()
+        d["thread_times"] = [float(t) for t in self.thread_times]
+        return d
+
 
 class ThreadTeam:
     """A team of ``nthreads`` threads executing a list of chunks.

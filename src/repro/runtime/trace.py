@@ -39,7 +39,11 @@ class Timer:
         return self
 
     def __exit__(self, *exc) -> None:
-        self.stop()
+        # stop the interval even when the body raised — leaving _t0 set
+        # would make the *next* start() raise "timer already running"
+        # far from the original failure
+        if self._t0 is not None:
+            self.stop()
 
     @property
     def mean(self) -> float:
@@ -76,11 +80,13 @@ class Trace:
 
     @contextmanager
     def span(self, label: str, clock: Timer, rank: int = 0):
-        """Record a wall-clock span around a code block."""
+        """Record a wall-clock span around a code block (recorded even
+        when the body raises)."""
         t0 = time.perf_counter()
-        yield
-        t1 = time.perf_counter()
-        self.add(label, t0, t1, rank)
+        try:
+            yield
+        finally:
+            self.add(label, t0, time.perf_counter(), rank)
 
     def total(self, label: str) -> float:
         """Summed duration of all spans with this label."""

@@ -117,34 +117,48 @@ class RKS(RHF):
         history: list[float] = []
         converged = False
         it = 0
-        for it in range(1, self.max_iter + 1):
-            need_k = a_hfx > 0.0
-            J, K = self.build_jk(D) if need_k else \
-                (self.build_jk(D)[0], None)
-            F = hcore + J
-            e2 = 0.5 * float(np.einsum("pq,pq->", D, J))
-            exc = 0.0
-            if need_k:
-                F = F - 0.5 * a_hfx * K
-                ex_energy = -0.25 * float(np.einsum("pq,pq->", K, D))
-                exc += a_hfx * ex_energy
-            if not pure_hf:
-                e_xc_sl, Vxc = self._xc.exc_and_potential(D)
-                F = F + Vxc
-                exc += e_xc_sl
-            e_core = float(np.einsum("pq,pq->", D, hcore))
-            energy = e_core + e2 + exc + enuc
-            history.append(energy)
-            err = X.T @ (F @ D @ S - S @ D @ F) @ X
-            diis.push(F, err)
-            # see RHF.run: no convergence exit before one orbital
-            # update when starting from a supplied density
-            may_exit = D0 is None or it > 1
-            if may_exit and diis.error_norm() < self.conv_tol:
-                converged = True
-                break
-            Fd = diis.extrapolate()
-            D, C, eps = self._next_density(Fd, X, S, D, nocc)
+        tr = self.config.trace
+        try:
+            for it in range(1, self.max_iter + 1):
+                with tr.span("scf.iteration", cat="scf", it=it):
+                    need_k = a_hfx > 0.0
+                    J, K = self.build_jk(D) if need_k else \
+                        (self.build_jk(D)[0], None)
+                    F = hcore + J
+                    e2 = 0.5 * float(np.einsum("pq,pq->", D, J))
+                    exc = 0.0
+                    if need_k:
+                        F = F - 0.5 * a_hfx * K
+                        ex_energy = -0.25 * float(np.einsum("pq,pq->", K, D))
+                        exc += a_hfx * ex_energy
+                    if not pure_hf:
+                        with tr.span("xc.integrate", cat="xc"):
+                            e_xc_sl, Vxc = self._xc.exc_and_potential(D)
+                        F = F + Vxc
+                        exc += e_xc_sl
+                    e_core = float(np.einsum("pq,pq->", D, hcore))
+                    energy = e_core + e2 + exc + enuc
+                    history.append(energy)
+                    with tr.span("scf.diis", cat="diis"):
+                        err = X.T @ (F @ D @ S - S @ D @ F) @ X
+                        diis.push(F, err)
+                        err_norm = diis.error_norm()
+                    # see RHF.run: no convergence exit before one orbital
+                    # update when starting from a supplied density
+                    may_exit = D0 is None or it > 1
+                    if may_exit and err_norm < self.conv_tol:
+                        converged = True
+                        break
+                    with tr.span("scf.update", cat="scf"):
+                        Fd = diis.extrapolate()
+                        D, C, eps = self._next_density(Fd, X, S, D, nocc)
+        finally:
+            # mirror RHF.run: a pool this run spawned dies with the run
+            if self._direct is not None:
+                self._direct.close()
+        if tr.enabled:
+            tr.metrics.set("scf.niter", it)
+            tr.metrics.set("scf.converged", int(converged))
         # canonicalize against the final Fock matrix (see RHF.run)
         f = X.T @ F @ X
         eps, Cp = np.linalg.eigh(f)

@@ -103,23 +103,30 @@ class DirectJKBuilder:
     computed block into all symmetry-related positions of J and K.
     ``eps`` is the paper's controllable-accuracy threshold.
 
+    Execution behavior (executor, pool size, telemetry sinks) comes
+    from one :class:`repro.runtime.ExecutionConfig` value.
     ``executor="process"`` evaluates the surviving quartets on a
     persistent :class:`repro.runtime.pool.ExchangeWorkerPool` instead of
     in-process.  Screening stays in the parent, so both executors walk
     the identical quartet list; only the evaluation site changes.  An
     externally owned pool can be shared (e.g. across the SCFs of an MD
     trajectory); otherwise the builder spawns and owns one.
+
+    The legacy ``executor=``/``nworkers=`` kwargs still work behind a
+    deprecation shim.
     """
 
     def __init__(self, basis: BasisSet, eps: float = 1e-10,
-                 executor: str = "serial", nworkers: int | None = None,
-                 pool=None):
-        if executor not in ("serial", "process"):
-            raise ValueError(
-                f"executor must be 'serial' or 'process', got {executor!r}")
+                 executor: str | None = None, nworkers: int | None = None,
+                 pool=None, config=None):
+        from ..runtime.execconfig import resolve_execution
+
+        self.config = resolve_execution(config, executor=executor,
+                                        nworkers=nworkers,
+                                        owner="DirectJKBuilder")
         self.basis = basis
         self.eps = eps
-        self.executor = executor
+        self.executor = self.config.executor
         self.engine = ERIEngine(basis)
         self.Q = self.engine.schwarz_bounds()
         self._keys = sorted(self.engine.pairs)
@@ -129,12 +136,14 @@ class DirectJKBuilder:
         self.quartets_computed = 0
         self._pool = None
         self._owns_pool = False
-        if executor == "process":
+        if self.executor == "process":
             from ..runtime.pool import ExchangeWorkerPool
 
             if pool is not None and pool.basis is not basis:
                 pool.reset(basis)
-            self._pool = pool or ExchangeWorkerPool(basis, nworkers=nworkers)
+            self._pool = pool or ExchangeWorkerPool(
+                basis, nworkers=self.config.nworkers,
+                timeout=self.config.pool_timeout)
             self._owns_pool = pool is None
 
     def close(self) -> None:
@@ -152,34 +161,49 @@ class DirectJKBuilder:
     def build(self, D: np.ndarray, want_j: bool = True, want_k: bool = True
               ) -> tuple[np.ndarray | None, np.ndarray | None]:
         """Build J and/or K for density ``D`` (AO basis, symmetric)."""
-        if self.executor == "process":
-            return self._build_process(D, want_j, want_k)
-        nbf = self.basis.nbf
-        J = np.zeros((nbf, nbf)) if want_j else None
-        K = np.zeros((nbf, nbf)) if want_k else None
-        dmax = float(np.abs(D).max()) if D.size else 0.0
-        self.quartets_total = 0
-        nq_start = self.engine.quartets_computed
-        for (i, j), (k, l) in self._unique_quartets():
-            self.quartets_total += 1
-            if self.Q[(i, j)] * self.Q[(k, l)] * max(dmax, 1.0) < self.eps:
-                continue
-            block = self.engine.quartet(i, j, k, l)
+        tr = self.config.trace
+        with tr.span("jk.build", cat="scf", executor=self.executor):
+            if self.executor == "process":
+                return self._build_process(D, want_j, want_k)
+            nbf = self.basis.nbf
+            J = np.zeros((nbf, nbf)) if want_j else None
+            K = np.zeros((nbf, nbf)) if want_k else None
+            dmax = float(np.abs(D).max()) if D.size else 0.0
+            nq_start = self.engine.quartets_computed
+            # the vectorized screen walks bra pairs and surviving kets in
+            # the same order (and with the same float test) as the older
+            # fused quartet loop, so the accumulation order — and thus
+            # the bitwise result — is unchanged
+            with tr.span("jk.screen", cat="screening", eps=self.eps):
+                pairs = self._screened_pairs(dmax)
+            for (i, j, kets) in pairs:
+                with tr.span("jk.quartet_batch", cat="quartets",
+                             nkets=len(kets)):
+                    for (k, l) in kets:
+                        k, l = int(k), int(l)
+                        block = self.engine.quartet(i, j, k, l)
+                        if want_j:
+                            scatter_coulomb(self.basis, J, block, D,
+                                            (i, j, k, l))
+                        if want_k:
+                            # all distinct index permutations contribute
+                            scatter_exchange(self.basis, K, block, D,
+                                             (i, j, k, l))
+            # the counter is derived from the engine (the single counted
+            # evaluation path) rather than kept as separate bookkeeping
+            self.quartets_computed = self.engine.quartets_computed - nq_start
             if want_j:
-                scatter_coulomb(self.basis, J, block, D, (i, j, k, l))
-            if want_k:
-                # all distinct index permutations contribute to K
-                scatter_exchange(self.basis, K, block, D, (i, j, k, l))
-        # the counter is derived from the engine (the single counted
-        # evaluation path) rather than kept as separate bookkeeping
-        self.quartets_computed = self.engine.quartets_computed - nq_start
-        if want_j:
-            # the unique walk fills the upper shell triangle (i <= j);
-            # elementwise triangle reflection restores the full
-            # symmetric matrix (diagonal shell blocks are complete and
-            # symmetric already)
-            J = reflect_triangle(J)
-        return J, K
+                with tr.span("jk.assemble", cat="scf"):
+                    # the unique walk fills the upper shell triangle
+                    # (i <= j); elementwise triangle reflection restores
+                    # the full symmetric matrix (diagonal shell blocks
+                    # are complete and symmetric already)
+                    J = reflect_triangle(J)
+            if tr.enabled:
+                tr.metrics.count("jk.builds", 1)
+                tr.metrics.count("jk.quartets", self.quartets_computed)
+                tr.metrics.absorb_engine(self.engine)
+            return J, K
 
     def _screened_pairs(self, dmax: float) -> list[tuple[int, int, np.ndarray]]:
         """Per-bra surviving ket lists under the density-aware screen.
@@ -202,8 +226,10 @@ class DirectJKBuilder:
                        ) -> tuple[np.ndarray | None, np.ndarray | None]:
         from ..runtime.pool import RankJob
 
+        tr = self.config.trace
         dmax = float(np.abs(D).max()) if D.size else 0.0
-        pairs = self._screened_pairs(dmax)
+        with tr.span("jk.screen", cat="screening", eps=self.eps):
+            pairs = self._screened_pairs(dmax)
         # one rank job per worker, balanced by surviving quartet count
         nw = self._pool.nworkers
         jobs = [RankJob(rank=w) for w in range(nw)]
@@ -215,19 +241,24 @@ class DirectJKBuilder:
             jobs[w].cost += len(p[2])
             loads[w] = jobs[w].cost
         results, nq = self._pool.exchange(D, jobs, want_j=want_j,
-                                          want_k=want_k)
+                                          want_k=want_k, tracer=tr)
         self.engine.quartets_computed += nq
         self.quartets_computed = nq
         nbf = self.basis.nbf
-        J = np.zeros((nbf, nbf)) if want_j else None
-        K = np.zeros((nbf, nbf)) if want_k else None
-        for Jw, Kw in results.values():
+        with tr.span("jk.assemble", cat="scf"):
+            J = np.zeros((nbf, nbf)) if want_j else None
+            K = np.zeros((nbf, nbf)) if want_k else None
+            for Jw, Kw in results.values():
+                if want_j:
+                    J += Jw
+                if want_k:
+                    K += Kw
             if want_j:
-                J += Jw
-            if want_k:
-                K += Kw
-        if want_j:
-            J = reflect_triangle(J)
+                J = reflect_triangle(J)
+        if tr.enabled:
+            tr.metrics.count("jk.builds", 1)
+            tr.metrics.count("jk.quartets", nq)
+            tr.metrics.absorb_engine(self.engine)
         return J, K
 
     def _scatter_k(self, K, block, D, slices, idx):

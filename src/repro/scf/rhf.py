@@ -63,6 +63,29 @@ class SCFResult:
             charges[sh.atom] -= pop[sl].sum()
         return charges
 
+    def summary(self) -> dict:
+        """Compact scalar surface (tables, CLI JSON) — no matrices."""
+        return {
+            "energy": float(self.energy),
+            "energy_nuc": float(self.energy_nuc),
+            "energy_electronic": float(self.energy_electronic),
+            "exchange_energy": float(self.exchange_energy),
+            "homo_lumo_gap": float(self.homo_lumo_gap()),
+            "converged": bool(self.converged),
+            "niter": int(self.niter),
+            "nbf": int(self.basis.nbf),
+            "nocc": int(self.nocc),
+        }
+
+    def to_dict(self) -> dict:
+        """Full JSON-serializable dump (adds per-iteration history and
+        orbital energies; matrices stay on the dataclass)."""
+        d = self.summary()
+        d["history"] = [float(e) for e in self.history]
+        d["orbital_energies"] = [float(e) for e in self.eps]
+        d["mulliken_charges"] = [float(q) for q in self.mulliken_charges()]
+        return d
+
 
 class RHF:
     """Restricted Hartree-Fock driver.
@@ -81,13 +104,13 @@ class RHF:
     screen_eps:
         Cauchy-Schwarz threshold for direct mode (the paper's
         controllable-accuracy knob).
-    executor:
-        ``"serial"`` (reference) or ``"process"``: run every direct J/K
-        build on a persistent local worker pool (requires
-        ``mode="direct"``).  The pool outlives single builds — it is
-        spawned once in :meth:`run` and reused by every SCF iteration.
-    nworkers:
-        Pool size for ``executor="process"`` (default: usable cores).
+    config:
+        :class:`repro.runtime.ExecutionConfig` selecting where the
+        direct J/K builds run (``executor="process"`` requires
+        ``mode="direct"``; the pool outlives single builds — it is
+        spawned once and reused by every SCF iteration) and carrying
+        the telemetry sinks.  The legacy ``executor=``/``nworkers=``
+        kwargs still work behind a deprecation shim.
     jk_pool:
         Externally owned :class:`repro.runtime.pool.ExchangeWorkerPool`
         to reuse (e.g. across the SCFs of an MD trajectory); when given,
@@ -99,17 +122,19 @@ class RHF:
                  conv_tol: float = 1e-8, max_iter: int = 100,
                  diis_size: int = 8, level_shift: float = 0.0,
                  damping: float = 0.0, smearing: float = 0.0,
-                 executor: str = "serial", nworkers: int | None = None,
-                 jk_pool=None):
+                 executor: str | None = None, nworkers: int | None = None,
+                 jk_pool=None, config=None):
+        from ..runtime.execconfig import resolve_execution
+
         if mol.nelectron % 2 != 0:
             raise ValueError("RHF requires an even electron count; "
                              f"{mol.name or 'molecule'} has {mol.nelectron}")
         if mode not in ("incore", "direct"):
             raise ValueError(f"mode must be 'incore' or 'direct', got {mode!r}")
-        if executor not in ("serial", "process"):
-            raise ValueError(
-                f"executor must be 'serial' or 'process', got {executor!r}")
-        if executor == "process" and mode != "direct":
+        self.config = resolve_execution(config, executor=executor,
+                                        nworkers=nworkers,
+                                        owner=type(self).__name__)
+        if self.config.executor == "process" and mode != "direct":
             raise ValueError("executor='process' requires mode='direct' "
                              "(the in-core tensor path has no quartet loop "
                              "to distribute)")
@@ -123,8 +148,8 @@ class RHF:
         self.level_shift = level_shift
         self.damping = damping
         self.smearing = smearing
-        self.executor = executor
-        self.nworkers = nworkers
+        self.executor = self.config.executor
+        self.nworkers = self.config.nworkers
         self.jk_pool = jk_pool
         if not 0.0 <= damping < 1.0:
             raise ValueError("damping must be in [0, 1)")
@@ -163,16 +188,18 @@ class RHF:
     # --- integral plumbing ---------------------------------------------------
 
     def _setup(self):
-        S = overlap_matrix(self.basis)
-        T = kinetic_matrix(self.basis)
-        V = nuclear_matrix(self.basis)
-        hcore = T + V
-        if self.mode == "incore":
-            self._eri = eri_tensor(self.basis)
-        else:
-            self._direct = DirectJKBuilder(
-                self.basis, eps=self.screen_eps, executor=self.executor,
-                nworkers=self.nworkers, pool=self.jk_pool)
+        with self.config.trace.span("scf.setup", cat="scf",
+                                    mode=self.mode, nbf=self.basis.nbf):
+            S = overlap_matrix(self.basis)
+            T = kinetic_matrix(self.basis)
+            V = nuclear_matrix(self.basis)
+            hcore = T + V
+            if self.mode == "incore":
+                self._eri = eri_tensor(self.basis)
+            else:
+                self._direct = DirectJKBuilder(
+                    self.basis, eps=self.screen_eps, config=self.config,
+                    pool=self.jk_pool)
         return S, hcore
 
     def build_jk(self, D: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -201,30 +228,39 @@ class RHF:
         history: list[float] = []
         converged = False
         it = 0
+        tr = self.config.trace
         try:
             for it in range(1, self.max_iter + 1):
-                J, K = self.build_jk(D)
-                F = hcore + J - 0.5 * K
-                e_el = 0.5 * float(np.einsum("pq,pq->", D, hcore + F))
-                energy = e_el + enuc
-                history.append(energy)
-                ex_energy = -0.25 * float(np.einsum("pq,pq->", K, D))
-                err = X.T @ (F @ D @ S - S @ D @ F) @ X
-                diis.push(F, err)
-                # a supplied D0 can have a vanishing commutator while being
-                # mis-normalized for this geometry; require at least one
-                # orbital update before trusting the convergence test
-                may_exit = D0 is None or it > 1
-                if may_exit and diis.error_norm() < self.conv_tol:
-                    converged = True
-                    break
-                Fd = diis.extrapolate()
-                D, C, eps = self._next_density(Fd, X, S, D, nocc)
+                with tr.span("scf.iteration", cat="scf", it=it):
+                    J, K = self.build_jk(D)
+                    F = hcore + J - 0.5 * K
+                    e_el = 0.5 * float(np.einsum("pq,pq->", D, hcore + F))
+                    energy = e_el + enuc
+                    history.append(energy)
+                    ex_energy = -0.25 * float(np.einsum("pq,pq->", K, D))
+                    with tr.span("scf.diis", cat="diis"):
+                        err = X.T @ (F @ D @ S - S @ D @ F) @ X
+                        diis.push(F, err)
+                        err_norm = diis.error_norm()
+                    # a supplied D0 can have a vanishing commutator while
+                    # being mis-normalized for this geometry; require at
+                    # least one orbital update before trusting the
+                    # convergence test
+                    may_exit = D0 is None or it > 1
+                    if may_exit and err_norm < self.conv_tol:
+                        converged = True
+                        break
+                    with tr.span("scf.update", cat="scf"):
+                        Fd = diis.extrapolate()
+                        D, C, eps = self._next_density(Fd, X, S, D, nocc)
         finally:
             # a pool this run spawned dies with the run; an external
             # jk_pool is left running for the caller to reuse
             if self._direct is not None:
                 self._direct.close()
+        if tr.enabled:
+            tr.metrics.set("scf.niter", it)
+            tr.metrics.set("scf.converged", int(converged))
         # canonicalize against the final Fock matrix: the loop's C/eps
         # lag one iteration behind (and are the bare core-guess values
         # when convergence hits on iteration 1)

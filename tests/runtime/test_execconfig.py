@@ -1,0 +1,100 @@
+"""Tests for the unified ExecutionConfig API and its deprecation shim."""
+
+import pytest
+
+from repro.runtime.execconfig import (DEFAULT_EXECUTION, ExecutionConfig,
+                                      resolve_execution)
+from repro.runtime.telemetry import NULL_TRACER, Tracer
+
+
+def test_defaults():
+    cfg = ExecutionConfig()
+    assert cfg.executor == "serial"
+    assert cfg.nworkers is None
+    assert cfg.pool_timeout is None
+    assert cfg.tracer is None
+    assert not cfg.profile
+    assert cfg.trace is NULL_TRACER
+
+
+def test_frozen():
+    cfg = ExecutionConfig()
+    with pytest.raises(AttributeError):
+        cfg.executor = "process"
+
+
+def test_replace():
+    cfg = ExecutionConfig()
+    cfg2 = cfg.replace(executor="process", nworkers=2)
+    assert cfg2.executor == "process" and cfg2.nworkers == 2
+    assert cfg.executor == "serial"  # original untouched
+
+
+def test_trace_property_returns_tracer():
+    tr = Tracer("t")
+    assert ExecutionConfig(tracer=tr).trace is tr
+
+
+@pytest.mark.parametrize("bad", ["gpu", "threads", ""])
+def test_invalid_executor(bad):
+    with pytest.raises(ValueError, match="executor"):
+        ExecutionConfig(executor=bad)
+
+
+@pytest.mark.parametrize("bad", [0, -1, 2.5, True])
+def test_invalid_nworkers(bad):
+    with pytest.raises(ValueError):
+        ExecutionConfig(nworkers=bad)
+
+
+@pytest.mark.parametrize("bad", [0, -3.0, "ten"])
+def test_invalid_pool_timeout(bad):
+    with pytest.raises(ValueError):
+        ExecutionConfig(pool_timeout=bad)
+
+
+def test_resolve_default_is_shared_singleton():
+    assert resolve_execution(None) is DEFAULT_EXECUTION
+    cfg = ExecutionConfig(executor="process")
+    assert resolve_execution(cfg) is cfg
+
+
+def test_resolve_legacy_kwargs_warn():
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        cfg = resolve_execution(None, executor="process", nworkers=3,
+                                owner="TestAPI")
+    assert cfg.executor == "process" and cfg.nworkers == 3
+
+
+def test_resolve_rejects_config_plus_legacy():
+    with pytest.raises(ValueError, match="not both"):
+        resolve_execution(ExecutionConfig(), executor="process")
+
+
+def test_rhf_legacy_kwargs_warn():
+    """The public SCF entry points keep accepting the old kwargs."""
+    from repro.chem import builders
+    from repro.scf.rhf import RHF
+
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        scf = RHF(builders.h2(), mode="direct", executor="serial")
+    assert scf.config.executor == "serial"
+
+
+def test_hfx_scheme_legacy_fields_warn():
+    from repro.hfx import HFXScheme, water_box_workload
+    from repro.machine import bgq_racks
+
+    wl = water_box_workload(2)
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        sch = HFXScheme(wl, bgq_racks(0.25), nworkers=2)
+    assert sch.config.nworkers == 2
+
+
+def test_hfx_scheme_rejects_config_plus_legacy():
+    from repro.hfx import HFXScheme, water_box_workload
+    from repro.machine import bgq_racks
+
+    with pytest.raises(ValueError, match="not both"):
+        HFXScheme(water_box_workload(2), bgq_racks(0.25),
+                  executor="process", config=ExecutionConfig())

@@ -59,3 +59,26 @@ def test_trace_span_context_manager():
 
 def test_empty_trace_makespan():
     assert Trace().makespan() == 0.0
+
+
+def test_timer_exit_stops_interval_on_exception():
+    t = Timer()
+    with pytest.raises(ValueError):
+        with t:
+            raise ValueError("body failed")
+    # the interval was stopped: the timer is reusable immediately
+    assert t.count == 1
+    with t:
+        pass
+    assert t.count == 2
+
+
+def test_trace_span_records_on_exception():
+    tr = Trace()
+    clock = Timer()
+    with pytest.raises(ValueError):
+        with tr.span("work", clock):
+            raise ValueError("body failed")
+    # the span was still recorded
+    assert tr.total("work") >= 0.0
+    assert len(tr.events) == 1

@@ -65,3 +65,52 @@ def test_scale_with_baseline(capsys):
     assert main(["scale", "--size", "8", "--racks", "0.25,0.5",
                  "--baseline"]) == 0
     assert "t(legacy)" in capsys.readouterr().out
+
+
+def test_scf_trace_writes_chrome_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "trace.json"
+    assert main(["scf", "h2", "--mode", "direct",
+                 "--trace", str(path)]) == 0
+    assert "trace:" in capsys.readouterr().out
+    doc = json.loads(path.read_text())
+    names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+    assert "scf.iteration" in names
+    assert "jk.screen" in names
+    assert "jk.quartet_batch" in names
+
+
+def test_scf_profile_table(capsys):
+    assert main(["scf", "h2", "--mode", "direct", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "profile" in out
+    assert "jk.build" in out
+    assert "calls" in out
+
+
+def test_scf_json_output(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "trace.json"
+    assert main(["scf", "h2", "--mode", "direct", "--json",
+                 "--trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    doc = json.loads(out)  # stdout is pure JSON
+    assert doc["scf"]["converged"] is True
+    assert abs(doc["scf"]["energy"] - -1.1166843872) < 1e-6
+    assert doc["telemetry"]["nspans"] > 0
+
+
+def test_scf_rejects_nonpositive_nworkers(capsys):
+    with pytest.raises(SystemExit):
+        main(["scf", "h2", "--nworkers", "0"])
+    assert "positive integer" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["scf", "h2", "--nworkers", "many"])
+
+
+def test_scf_rejects_bad_pool_timeout_env(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_POOL_TIMEOUT", "not-a-number")
+    with pytest.raises(SystemExit):
+        main(["scf", "h2"])
