@@ -79,8 +79,8 @@ def _cmd_scf(args) -> int:
     tracer = Tracer(name=f"scf:{mol.name or 'molecule'}") \
         if (args.trace or args.profile) else None
     config = ExecutionConfig(executor=args.executor, nworkers=args.nworkers,
-                             pool_timeout=pool_timeout, tracer=tracer,
-                             profile=args.profile)
+                             pool_timeout=pool_timeout, kernel=args.kernel,
+                             tracer=tracer, profile=args.profile)
     label = args.method.upper()
     if args.method == "uhf" or mol.multiplicity > 1:
         from repro.scf import run_uhf
@@ -264,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--nworkers", type=_positive_int, default=None,
                     help="worker count for --executor process "
                          "(default: usable cores)")
+    ps.add_argument("--kernel", default="quartet",
+                    choices=["quartet", "batched"],
+                    help="ERI evaluation granularity for direct builds: "
+                         "one shell quartet per call (reference) or whole "
+                         "L-class batches (faster, ~1e-13 agreement)")
     ps.add_argument("--trace", metavar="FILE",
                     help="write a Chrome-trace JSON of the run "
                          "(chrome://tracing / Perfetto)")

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..basis.basisset import BasisSet
 from ..integrals.eri import ERIEngine
-from ..scf.fock import scatter_exchange
+from ..scf.fock import scatter_exchange, scatter_exchange_batch, shell_slices
 
 __all__ = ["IncrementalExchange", "incremental_survival"]
 
@@ -77,12 +77,12 @@ class IncrementalExchange:
     def _block_max(self, M: np.ndarray) -> np.ndarray:
         """max|M| per shell block, shape (nshell, nshell)."""
         n = self.basis.nshell
+        slices = shell_slices(self.basis)
         out = np.empty((n, n))
         for i in range(n):
-            si = self.basis.shell_slice(i)
+            si = slices[i]
             for j in range(n):
-                sj = self.basis.shell_slice(j)
-                out[i, j] = np.abs(M[si, sj]).max()
+                out[i, j] = np.abs(M[si, slices[j]]).max()
         return out
 
     def _screen(self, dmax: np.ndarray
@@ -140,12 +140,25 @@ class IncrementalExchange:
                     jobs[w].pairs.append((i, j, kets))
                     jobs[w].cost += len(kets)
                 results, nq = self._pool.exchange(dD, jobs, want_j=False,
-                                                  want_k=True, tracer=tr)
+                                                  want_k=True, tracer=tr,
+                                                  kernel=self.config.kernel)
                 for _, Kw in results.values():
                     Kdelta += Kw
                 # keep the parent engine's counter consistent with the
                 # serial executor, where quartet() counts every evaluation
                 self.engine.quartets_computed += nq
+            elif self.config.kernel == "batched":
+                from ..integrals.batch import flatten_pairs
+
+                with tr.span("batch.assemble", cat="batch"):
+                    groups = self.engine.group_quartets(
+                        flatten_pairs(surviving))
+                for grp in groups:
+                    with tr.span("batch.eval", cat="batch", nq=len(grp)):
+                        blocks = self.engine.quartet_batch(grp)
+                    with tr.span("batch.scatter", cat="batch", nq=len(grp)):
+                        scatter_exchange_batch(self.basis, Kdelta, blocks,
+                                               dD, grp)
             else:
                 for (i, j, kets) in surviving:
                     with tr.span("kinc.quartet_batch", cat="quartets",

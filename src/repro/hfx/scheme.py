@@ -48,7 +48,7 @@ from ..machine.simulator import BuildTiming, CommPlan, simulate_static_build
 from ..runtime.comm import CommLog, SimWorld
 from ..runtime.execconfig import (DEFAULT_EXECUTION, ExecutionConfig,
                                   resolve_execution)
-from ..scf.fock import scatter_exchange
+from ..scf.fock import scatter_exchange, scatter_exchange_batch
 from .partition import Partition, partition_tasks
 from .tasklist import TaskList, build_tasklist
 
@@ -236,7 +236,7 @@ def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
     if engine is None:
         engine = ERIEngine(basis)
     with tr.span("hfx.build", cat="hfx", nranks=nranks,
-                 executor=cfg.executor):
+                 executor=cfg.executor, kernel=cfg.kernel):
         with tr.span("hfx.screening", cat="screening", eps=eps):
             tasks = build_tasklist(basis, eps, engine=engine)
         with tr.span("hfx.partition", cat="hfx", partitioner=partitioner):
@@ -256,7 +256,8 @@ def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
                 pool.reset(basis)
             try:
                 results, nq = pool.exchange(D, jobs, want_j=False,
-                                            want_k=True, tracer=tr)
+                                            want_k=True, tracer=tr,
+                                            kernel=cfg.kernel)
             finally:
                 if owns:
                     pool.close()
@@ -264,6 +265,27 @@ def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
             # counter stays consistent across executors
             engine.quartets_computed += nq
             partials = [results[r][1] for r in range(nranks)]
+        elif cfg.kernel == "batched":
+            from ..integrals.batch import flatten_pairs
+
+            partials = []
+            for rank in range(nranks):
+                my = np.where(part.rank_of_task == rank)[0]
+                with tr.span("hfx.rank", cat="hfx", rank=rank,
+                             ntasks=len(my)):
+                    Kr = np.zeros((nbf, nbf))
+                    pairs = [(int(tasks.pair_index[t][0]),
+                              int(tasks.pair_index[t][1]),
+                              tasks.ket_lists[t]) for t in my]
+                    with tr.span("batch.assemble", cat="batch", rank=rank):
+                        groups = engine.group_quartets(flatten_pairs(pairs))
+                    for grp in groups:
+                        with tr.span("batch.eval", cat="batch", nq=len(grp)):
+                            blocks = engine.quartet_batch(grp)
+                        with tr.span("batch.scatter", cat="batch",
+                                     nq=len(grp)):
+                            scatter_exchange_batch(basis, Kr, blocks, D, grp)
+                    partials.append(Kr)
         else:
             partials = []
             for rank in range(nranks):

@@ -2,11 +2,12 @@
 two-electron integrals, Cauchy-Schwarz screening."""
 
 from .boys import boys, boys_single
-from .mcmurchie import hermite_e, hermite_r, gaussian_product
+from .mcmurchie import hermite_e, hermite_r, hermite_r_tri, gaussian_product
 from .overlap import overlap_matrix, overlap_block
 from .kinetic import kinetic_matrix, kinetic_block
 from .nuclear import nuclear_matrix, nuclear_block
 from .eri import eri_quartet, eri_tensor, ERIEngine
+from .batch import eri_quartet_batch, quartet_class_groups, flatten_pairs
 from .schwarz import (schwarz_bounds, schwarz_matrix, pair_extent_estimate,
                       count_surviving_quartets)
 from .moments import dipole_block, dipole_matrices, dipole_moment
@@ -15,11 +16,12 @@ from .gradients import (overlap_gradient, kinetic_gradient,
 
 __all__ = [
     "boys", "boys_single",
-    "hermite_e", "hermite_r", "gaussian_product",
+    "hermite_e", "hermite_r", "hermite_r_tri", "gaussian_product",
     "overlap_matrix", "overlap_block",
     "kinetic_matrix", "kinetic_block",
     "nuclear_matrix", "nuclear_block",
     "eri_quartet", "eri_tensor", "ERIEngine",
+    "eri_quartet_batch", "quartet_class_groups", "flatten_pairs",
     "schwarz_bounds", "schwarz_matrix", "pair_extent_estimate",
     "count_surviving_quartets",
     "dipole_block", "dipole_matrices", "dipole_moment",

@@ -7,6 +7,15 @@ paper's parallelization scheme: every task in the HFX task list maps to
 a batch of these kernels.  The data-parallel layout (all primitive
 combinations evaluated as flat numpy vectors) is the Python analogue of
 the QPX short-vector code the authors wrote for BG/Q.
+
+Two evaluation granularities:
+
+* :func:`eri_quartet` / :meth:`ERIEngine.quartet` — one shell quartet
+  per call; the bit-exact reference path;
+* :meth:`ERIEngine.quartet_batch` — a whole same-L-class quartet list
+  per call through :mod:`repro.integrals.batch`, amortizing the Hermite
+  recursion and GEMM dispatch the way the paper's QPX kernel amortizes
+  its vector setup.
 """
 
 from __future__ import annotations
@@ -84,8 +93,19 @@ class ERIEngine:
 
     def schwarz_bounds(self) -> dict[tuple[int, int], float]:
         """Cauchy-Schwarz bounds ``Q_ij = sqrt(max |(ij|ij)|)`` per shell
-        pair — the controllable-accuracy knob of the paper."""
+        pair — the controllable-accuracy knob of the paper.
+
+        Cached per *basis object*: every engine built on the same basis
+        (SCF iterations, MD-step rebuilds with an unchanged geometry,
+        pool workers after a fork) shares one bound table, and only the
+        engine that actually evaluated the diagonal ``(ij|ij)`` quartets
+        tallies them on ``quartets_screening``.
+        """
         if self._schwarz is None:
+            cached = self.basis.__dict__.get("_schwarz_cache")
+            if cached is not None:
+                self._schwarz = cached
+                return self._schwarz
             out = {}
             for key, pair in self.pairs.items():
                 block = eri_quartet(pair, pair)
@@ -94,12 +114,40 @@ class ERIEngine:
                 diag = np.abs(block.reshape(n1 * n2, n1 * n2).diagonal())
                 out[key] = float(np.sqrt(diag.max()))
             self._schwarz = out
+            self.basis._schwarz_cache = out
         return self._schwarz
 
     def quartet(self, i: int, j: int, k: int, l: int) -> np.ndarray:
         """Screened quartet ``(ij|kl)`` in AO sub-block form."""
         self.quartets_computed += 1
         return eri_quartet(self.pair(i, j), self.pair(k, l))
+
+    def group_quartets(self, idx: np.ndarray) -> list[np.ndarray]:
+        """Split an ``(nq, 4)`` quartet index array into L-class groups
+        (see :func:`repro.integrals.batch.quartet_class_groups`)."""
+        from .batch import quartet_class_groups
+
+        return quartet_class_groups(self.basis.shells, idx)
+
+    def quartet_batch(self, idx: np.ndarray) -> np.ndarray:
+        """Blocks for a same-class quartet index array, one kernel call.
+
+        ``idx`` is ``(nq, 4)`` shell indices — every row must belong to
+        the same L-class (use :meth:`group_quartets`).  Returns
+        ``(nq, nA, nB, nC, nD)``; counts ``nq`` on
+        ``quartets_computed``, keeping the batched and per-quartet
+        kernels' bookkeeping identical.
+        """
+        from .batch import _eri_class_batch
+
+        idx = np.asarray(idx, dtype=np.int64).reshape(-1, 4)
+        ub, bra_ids = np.unique(idx[:, :2], axis=0, return_inverse=True)
+        uk, ket_ids = np.unique(idx[:, 2:], axis=0, return_inverse=True)
+        ubra = [self.pair(int(i), int(j)) for i, j in ub]
+        uket = [self.pair(int(k), int(l)) for k, l in uk]
+        self.quartets_computed += len(idx)
+        return _eri_class_batch(ubra, bra_ids.reshape(-1),
+                                uket, ket_ids.reshape(-1))
 
 
 def eri_tensor(basis: BasisSet, screen: float = 0.0) -> np.ndarray:
@@ -114,29 +162,33 @@ def eri_tensor(basis: BasisSet, screen: float = 0.0) -> np.ndarray:
     """
     nsh = basis.nshell
     engine = ERIEngine(basis)
-    Q = engine.schwarz_bounds() if screen > 0 else None
     eri = np.zeros((basis.nbf,) * 4)
-    for i in range(nsh):
-        for j in range(i, nsh):
-            if screen > 0 and (i, j) not in engine.pairs:
+    # hoisted invariants: shell slices and Schwarz-bound products are
+    # computed once per build, never inside the quartet loops
+    slices = [basis.shell_slice(i) for i in range(nsh)]
+    keys = [(i, j) for i in range(nsh) for j in range(i, nsh)]
+    if screen > 0:
+        Q = engine.schwarz_bounds()
+        present = [key in engine.pairs for key in keys]
+        qvals = np.array([Q.get(key, 0.0) for key in keys])
+    for a, (i, j) in enumerate(keys):
+        if screen > 0:
+            if not present[a]:
                 continue
-            for k in range(nsh):
-                for l in range(k, nsh):
-                    if (k, l) < (i, j):
-                        continue
-                    if screen > 0 and Q[(i, j)] * Q[(k, l)] < screen:
-                        continue
-                    block = engine.quartet(i, j, k, l)
-                    si = basis.shell_slice(i)
-                    sj = basis.shell_slice(j)
-                    sk = basis.shell_slice(k)
-                    sl = basis.shell_slice(l)
-                    eri[si, sj, sk, sl] = block
-                    eri[sj, si, sk, sl] = block.transpose(1, 0, 2, 3)
-                    eri[si, sj, sl, sk] = block.transpose(0, 1, 3, 2)
-                    eri[sj, si, sl, sk] = block.transpose(1, 0, 3, 2)
-                    eri[sk, sl, si, sj] = block.transpose(2, 3, 0, 1)
-                    eri[sl, sk, si, sj] = block.transpose(3, 2, 0, 1)
-                    eri[sk, sl, sj, si] = block.transpose(2, 3, 1, 0)
-                    eri[sl, sk, sj, si] = block.transpose(3, 2, 1, 0)
+            kept = np.nonzero(qvals[a] * qvals[a:] >= screen)[0] + a
+        else:
+            kept = range(a, len(keys))
+        si, sj = slices[i], slices[j]
+        for b in kept:
+            k, l = keys[b]
+            block = engine.quartet(i, j, k, l)
+            sk, sl = slices[k], slices[l]
+            eri[si, sj, sk, sl] = block
+            eri[sj, si, sk, sl] = block.transpose(1, 0, 2, 3)
+            eri[si, sj, sl, sk] = block.transpose(0, 1, 3, 2)
+            eri[sj, si, sl, sk] = block.transpose(1, 0, 3, 2)
+            eri[sk, sl, si, sj] = block.transpose(2, 3, 0, 1)
+            eri[sl, sk, si, sj] = block.transpose(3, 2, 0, 1)
+            eri[sk, sl, sj, si] = block.transpose(2, 3, 1, 0)
+            eri[sl, sk, sj, si] = block.transpose(3, 2, 1, 0)
     return eri

@@ -20,6 +20,7 @@ from .telemetry import NULL_TRACER, Tracer
 __all__ = ["ExecutionConfig", "DEFAULT_EXECUTION", "resolve_execution"]
 
 _EXECUTORS = ("serial", "process")
+_KERNELS = ("quartet", "batched")
 
 
 @dataclass(frozen=True, eq=False)
@@ -36,6 +37,13 @@ class ExecutionConfig:
     pool_timeout:
         Seconds any single pool wait may take before the pool declares a
         worker hung (default: ``REPRO_POOL_TIMEOUT`` or 120 s).
+    kernel:
+        ERI evaluation granularity: ``"quartet"`` (one shell quartet per
+        call; the bit-exact reference) or ``"batched"`` (whole L-class
+        quartet lists per call with class-level J/K scatters; agrees
+        with the reference to ~1e-13 and is several times faster).
+        Screening is kernel-independent, so both walk — and count —
+        the identical surviving-quartet list.
     tracer:
         Telemetry sink (:class:`repro.runtime.telemetry.Tracer`) or
         ``None`` for the zero-cost disabled path.
@@ -47,6 +55,7 @@ class ExecutionConfig:
     executor: str = "serial"
     nworkers: int | None = None
     pool_timeout: float | None = None
+    kernel: str = "quartet"
     tracer: Tracer | None = None
     profile: bool = False
 
@@ -55,6 +64,10 @@ class ExecutionConfig:
             raise ValueError(
                 f"executor must be 'serial' or 'process', "
                 f"got {self.executor!r}")
+        if self.kernel not in _KERNELS:
+            raise ValueError(
+                f"kernel must be 'quartet' or 'batched', "
+                f"got {self.kernel!r}")
         if self.nworkers is not None:
             if not isinstance(self.nworkers, int) or \
                     isinstance(self.nworkers, bool):

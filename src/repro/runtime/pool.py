@@ -148,8 +148,10 @@ def _worker_main(conn, dbuf, basis, nbf: int) -> None:
     """
     import traceback
 
+    from ..integrals.batch import flatten_pairs
     from ..integrals.eri import ERIEngine
-    from ..scf.fock import scatter_coulomb, scatter_exchange
+    from ..scf.fock import (scatter_coulomb, scatter_coulomb_batch,
+                            scatter_exchange, scatter_exchange_batch)
 
     engine = ERIEngine(basis)
     D = np.frombuffer(dbuf, dtype=np.float64).reshape(nbf, nbf)
@@ -172,6 +174,7 @@ def _worker_main(conn, dbuf, basis, nbf: int) -> None:
                 conn.send(("ok", None, 0, None))
             elif cmd == "exec":
                 jobs, want_j, want_k = msg[1], msg[2], msg[3]
+                kernel = msg[4] if len(msg) > 4 else "quartet"
                 results = []
                 timings = []
                 nq = 0
@@ -180,17 +183,32 @@ def _worker_main(conn, dbuf, basis, nbf: int) -> None:
                     nq_rank = 0
                     J = np.zeros((nbf, nbf)) if want_j else None
                     K = np.zeros((nbf, nbf)) if want_k else None
-                    for (i, j, kets) in pairs:
-                        for (k, l) in kets:
-                            k, l = int(k), int(l)
-                            block = engine.quartet(i, j, k, l)
-                            nq_rank += 1
+                    if kernel == "batched":
+                        # whole-class evaluation of this rank's quartet
+                        # slice; the parent already screened, so the
+                        # groups cover exactly the serial quartet list
+                        for grp in engine.group_quartets(
+                                flatten_pairs(pairs)):
+                            blocks = engine.quartet_batch(grp)
+                            nq_rank += len(grp)
                             if J is not None:
-                                scatter_coulomb(basis, J, block, D,
-                                                (i, j, k, l))
+                                scatter_coulomb_batch(basis, J, blocks,
+                                                      D, grp)
                             if K is not None:
-                                scatter_exchange(basis, K, block, D,
-                                                 (i, j, k, l))
+                                scatter_exchange_batch(basis, K, blocks,
+                                                       D, grp)
+                    else:
+                        for (i, j, kets) in pairs:
+                            for (k, l) in kets:
+                                k, l = int(k), int(l)
+                                block = engine.quartet(i, j, k, l)
+                                nq_rank += 1
+                                if J is not None:
+                                    scatter_coulomb(basis, J, block, D,
+                                                    (i, j, k, l))
+                                if K is not None:
+                                    scatter_exchange(basis, K, block, D,
+                                                     (i, j, k, l))
                     results.append((rank, J, K))
                     timings.append((rank, t0, time.perf_counter(), nq_rank))
                     nq += nq_rank
@@ -323,7 +341,8 @@ class ExchangeWorkerPool:
                 raise RuntimeError(f"pool worker {w} failed:\n{payload}")
 
     def exchange(self, D: np.ndarray, jobs: list[RankJob],
-                 want_j: bool = False, want_k: bool = True, tracer=None
+                 want_j: bool = False, want_k: bool = True, tracer=None,
+                 kernel: str = "quartet"
                  ) -> tuple[dict[int, tuple[np.ndarray | None,
                                             np.ndarray | None]], int]:
         """Execute rank jobs against density ``D``.
@@ -333,6 +352,12 @@ class ExchangeWorkerPool:
         the unrequested one) and ``nquartets`` counts the quartets the
         workers evaluated — the caller folds it into its engine counter
         so the bookkeeping matches the serial path.
+
+        ``kernel`` selects the workers' evaluation granularity:
+        ``"quartet"`` (reference) or ``"batched"`` (each worker groups
+        its rank slices by L-class and runs the batched kernel +
+        class-level scatters).  Both see the identical screened quartet
+        lists and report identical counts.
 
         ``tracer`` (a :class:`repro.runtime.telemetry.Tracer`) records
         the dispatch/wait phases and grafts each worker's per-rank
@@ -350,14 +375,15 @@ class ExchangeWorkerPool:
                              f"the pool's basis ({self._D.shape})")
         self._D[:] = D
         with tr.span("pool.dispatch", cat="pool", njobs=len(jobs),
-                     nworkers=self.nworkers):
+                     nworkers=self.nworkers, kernel=kernel):
             assign = _lpt_assign([job.cost for job in jobs], self.nworkers)
             pending = []
             for w, idxs in enumerate(assign):
                 if not idxs:
                     continue
                 payload = [(jobs[t].rank, jobs[t].pairs) for t in idxs]
-                self._conns[w].send(("exec", payload, want_j, want_k))
+                self._conns[w].send(("exec", payload, want_j, want_k,
+                                     kernel))
                 pending.append(w)
         results: dict[int, tuple[np.ndarray | None, np.ndarray | None]] = {}
         nq_total = 0

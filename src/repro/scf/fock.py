@@ -8,6 +8,18 @@ Two execution styles, mirroring the paper:
   :class:`repro.integrals.ERIEngine` — the serial analogue of the
   paper's distributed HFX build; the parallel scheme in
   :mod:`repro.hfx` partitions exactly these quartets.
+
+Two accumulation granularities, mirroring the two ERI kernels:
+
+* :func:`scatter_exchange` / :func:`scatter_coulomb` — one quartet at a
+  time (the bit-exact reference), with the degeneracy-resolved
+  permutation list precomputed per index pattern instead of rebuilt per
+  quartet;
+* :func:`scatter_exchange_batch` / :func:`scatter_coulomb_batch` —
+  whole L-class batches: the density sub-blocks every quartet needs are
+  gathered into one batch tensor, contracted in a single vectorized
+  ``einsum`` per permutation slot, and scattered back through
+  precomputed index arrays with ``np.add.at``.
 """
 
 from __future__ import annotations
@@ -19,7 +31,73 @@ from ..integrals.eri import ERIEngine
 
 __all__ = ["jk_from_tensor", "coulomb_from_tensor", "exchange_from_tensor",
            "DirectJKBuilder", "scatter_exchange", "scatter_coulomb",
-           "reflect_triangle"]
+           "scatter_exchange_batch", "scatter_coulomb_batch",
+           "shell_slices", "reflect_triangle"]
+
+
+def shell_slices(basis: BasisSet) -> list[slice]:
+    """All shell AO slices, cached per basis object.
+
+    Hoists the four ``basis.shell_slice`` lookups out of the innermost
+    scatter loops: every scatter of every build on the same basis reads
+    this one list.
+    """
+    cached = basis.__dict__.get("_slice_cache")
+    if cached is None:
+        cached = [basis.shell_slice(i) for i in range(basis.nshell)]
+        basis._slice_cache = cached
+    return cached
+
+
+# The 8 ordered images of a unique quartet (i, j, k, l).  Each axes
+# tuple doubles as the transpose of the integral block and the selector
+# into the index tuple: image n has indices idx[ax[n]] and block
+# block.transpose(ax).
+_PERM_AXES = ((0, 1, 2, 3), (1, 0, 2, 3), (0, 1, 3, 2), (1, 0, 3, 2),
+              (2, 3, 0, 1), (3, 2, 0, 1), (2, 3, 1, 0), (3, 2, 1, 0))
+
+
+def _build_perm_table() -> dict[tuple[bool, bool, bool], tuple]:
+    """Degeneracy-resolved permutation lists per index pattern.
+
+    A unique quartet's distinct images depend only on its *pattern* —
+    which of ``i == j``, ``k == l``, ``(i, j) == (k, l)`` hold — so the
+    seen-set dedup runs once per pattern here (on representative
+    indices) instead of once per quartet in the hot loop.  The emitted
+    order matches the historical perms list, keeping the accumulation
+    order (and hence K) bit-identical.
+    """
+    table = {}
+    for e1 in (False, True):
+        for e2 in (False, True):
+            for e3 in (False, True):
+                if e3 and e1 != e2:
+                    continue   # (i,j) == (k,l) forces i==j iff k==l
+                i, j = 0, 0 if e1 else 1
+                k, l = (i, j) if e3 else (4, 4 if e2 else 5)
+                quart = (i, j, k, l)
+                seen = set()
+                active = []
+                for ax in _PERM_AXES:
+                    t = tuple(quart[a] for a in ax)
+                    if t in seen:
+                        continue
+                    seen.add(t)
+                    active.append(ax)
+                table[(e1, e2, e3)] = tuple(active)
+    return table
+
+
+_PERM_TABLE = _build_perm_table()
+
+# _SLOT_ACTIVE[pattern_code, slot]: is permutation slot active for the
+# pattern (e1 + 2*e2 + 4*e3)?  Derived from _PERM_TABLE so the batched
+# scatter can never drift from the per-quartet reference.
+_SLOT_ACTIVE = np.zeros((8, 8), dtype=bool)
+for _key, _axes in _PERM_TABLE.items():
+    _code = _key[0] + 2 * _key[1] + 4 * _key[2]
+    for _s, _ax in enumerate(_PERM_AXES):
+        _SLOT_ACTIVE[_code, _s] = _ax in _axes
 
 
 def scatter_exchange(basis: BasisSet, K: np.ndarray, block: np.ndarray,
@@ -29,29 +107,20 @@ def scatter_exchange(basis: BasisSet, K: np.ndarray, block: np.ndarray,
     The unrestricted sum K_ac = sum_bd (ab|cd) D_bd runs over all
     *ordered* quartets; a unique quartet expands into up to 8 ordered
     permutations, each contributing to one ordered (a, c) block.
-    Degenerate permutations (coinciding indices) are counted once.
-    Accumulating every ordered permutation leaves K exactly symmetric.
+    Degenerate permutations (coinciding indices) are counted once — the
+    distinct set per index pattern comes from the precomputed
+    ``_PERM_TABLE``.  Accumulating every ordered permutation leaves K
+    exactly symmetric.
     """
     i, j, k, l = idx
-    perms = [
-        (i, j, k, l, block),
-        (j, i, k, l, block.transpose(1, 0, 2, 3)),
-        (i, j, l, k, block.transpose(0, 1, 3, 2)),
-        (j, i, l, k, block.transpose(1, 0, 3, 2)),
-        (k, l, i, j, block.transpose(2, 3, 0, 1)),
-        (l, k, i, j, block.transpose(3, 2, 0, 1)),
-        (k, l, j, i, block.transpose(2, 3, 1, 0)),
-        (l, k, j, i, block.transpose(3, 2, 1, 0)),
-    ]
-    seen = set()
-    for (a, b, c, d, blk) in perms:
-        if (a, b, c, d) in seen:
-            continue
-        seen.add((a, b, c, d))
-        sa, sb = basis.shell_slice(a), basis.shell_slice(b)
-        sc, sd = basis.shell_slice(c), basis.shell_slice(d)
+    slices = shell_slices(basis)
+    for ax in _PERM_TABLE[(i == j, k == l, i == k and j == l)]:
+        a, b, c, d = idx[ax[0]], idx[ax[1]], idx[ax[2]], idx[ax[3]]
+        sa, sb = slices[a], slices[b]
+        sc, sd = slices[c], slices[d]
         # K_ac += (ab|cd) D_bd
-        K[sa, sc] += np.einsum("xyzw,yw->xz", blk, D[sb, sd])
+        K[sa, sc] += np.einsum("xyzw,yw->xz", block.transpose(ax),
+                               D[sb, sd])
 
 
 def scatter_coulomb(basis: BasisSet, J: np.ndarray, block: np.ndarray,
@@ -65,14 +134,94 @@ def scatter_coulomb(basis: BasisSet, J: np.ndarray, block: np.ndarray,
     first and reflected once.
     """
     i, j, k, l = idx
-    si, sj = basis.shell_slice(i), basis.shell_slice(j)
-    sk, sl = basis.shell_slice(k), basis.shell_slice(l)
+    slices = shell_slices(basis)
+    si, sj = slices[i], slices[j]
+    sk, sl = slices[k], slices[l]
     dij = 1.0 if i == j else 2.0
     dkl = 1.0 if k == l else 2.0
     # J_ij += (ij|kl) D_kl  (and the bra<->ket mirror)
     J[si, sj] += dkl * np.einsum("xyzw,zw->xy", block, D[sk, sl])
     if (i, j) != (k, l):
         J[sk, sl] += dij * np.einsum("xyzw,xy->zw", block, D[si, sj])
+
+
+def _gather_blocks(M: np.ndarray, rows: np.ndarray,
+                   cols: np.ndarray) -> np.ndarray:
+    """Gather ``(m, nr, nc)`` sub-blocks ``M[rows[q], cols[q]]``."""
+    return M[rows[:, :, None], cols[:, None, :]]
+
+
+def _ao_rows(offsets: np.ndarray, shells: np.ndarray, n: int) -> np.ndarray:
+    """AO index rows ``offsets[shells] + arange(n)``, shape ``(m, n)``."""
+    return offsets[shells][:, None] + np.arange(n)
+
+
+def scatter_exchange_batch(basis: BasisSet, K: np.ndarray,
+                           blocks: np.ndarray, D: np.ndarray,
+                           idx: np.ndarray) -> None:
+    """Exchange accumulation for a whole same-L-class quartet batch.
+
+    ``blocks`` is ``(nq, nA, nB, nC, nD)`` from the batched kernel and
+    ``idx`` the matching ``(nq, 4)`` shell indices.  Instead of up to
+    ``8 nq`` tiny einsums, each of the 8 permutation slots runs once:
+    gather the needed D sub-blocks for every quartet where the slot is
+    non-degenerate, contract the whole sub-batch, and scatter through
+    ``np.add.at`` (indices may collide across quartets, so plain fancy
+    assignment would drop contributions).
+    """
+    idx = np.asarray(idx, dtype=np.int64).reshape(-1, 4)
+    off = basis.offsets
+    i, j, k, l = idx[:, 0], idx[:, 1], idx[:, 2], idx[:, 3]
+    code = ((i == j).astype(np.int64) + 2 * (k == l)
+            + 4 * ((i == k) & (j == l)))
+    for s, ax in enumerate(_PERM_AXES):
+        mask = _SLOT_ACTIVE[code, s]
+        if not mask.any():
+            continue
+        sub = idx[mask]
+        blk = blocks[mask].transpose(
+            (0, ax[0] + 1, ax[1] + 1, ax[2] + 1, ax[3] + 1))
+        na, nb, nc, nd = blk.shape[1:]
+        rows_b = _ao_rows(off, sub[:, ax[1]], nb)
+        cols_d = _ao_rows(off, sub[:, ax[3]], nd)
+        # K_ac += (ab|cd) D_bd, one contraction for the whole sub-batch
+        kblk = np.einsum("qxyzw,qyw->qxz", blk,
+                         _gather_blocks(D, rows_b, cols_d), optimize=True)
+        rows_a = _ao_rows(off, sub[:, ax[0]], na)
+        cols_c = _ao_rows(off, sub[:, ax[2]], nc)
+        np.add.at(K, (rows_a[:, :, None], cols_c[:, None, :]), kblk)
+
+
+def scatter_coulomb_batch(basis: BasisSet, J: np.ndarray,
+                          blocks: np.ndarray, D: np.ndarray,
+                          idx: np.ndarray) -> None:
+    """Coulomb accumulation for a whole same-L-class quartet batch.
+
+    Upper-triangle convention as :func:`scatter_coulomb`: the bra slot
+    always contributes (ket degeneracy folded in as a per-quartet
+    factor), the mirrored ket slot only where ``(i, j) != (k, l)``.
+    """
+    idx = np.asarray(idx, dtype=np.int64).reshape(-1, 4)
+    off = basis.offsets
+    i, j, k, l = idx[:, 0], idx[:, 1], idx[:, 2], idx[:, 3]
+    nA, nB, nC, nD = blocks.shape[1:]
+    dkl = np.where(k == l, 1.0, 2.0)
+    rows_k = _ao_rows(off, k, nC)
+    cols_l = _ao_rows(off, l, nD)
+    jblk = np.einsum("qxyzw,qzw->qxy", blocks,
+                     _gather_blocks(D, rows_k, cols_l),
+                     optimize=True) * dkl[:, None, None]
+    rows_i = _ao_rows(off, i, nA)
+    cols_j = _ao_rows(off, j, nB)
+    np.add.at(J, (rows_i[:, :, None], cols_j[:, None, :]), jblk)
+    mirror = ~((i == k) & (j == l))
+    if mirror.any():
+        dij = np.where(i[mirror] == j[mirror], 1.0, 2.0)
+        jblk = np.einsum("qxyzw,qxy->qzw", blocks[mirror],
+                         _gather_blocks(D, rows_i[mirror], cols_j[mirror]),
+                         optimize=True) * dij[:, None, None]
+        np.add.at(J, (rows_k[mirror][:, :, None],
+                      cols_l[mirror][:, None, :]), jblk)
 
 
 def reflect_triangle(J: np.ndarray) -> np.ndarray:
@@ -103,13 +252,16 @@ class DirectJKBuilder:
     computed block into all symmetry-related positions of J and K.
     ``eps`` is the paper's controllable-accuracy threshold.
 
-    Execution behavior (executor, pool size, telemetry sinks) comes
-    from one :class:`repro.runtime.ExecutionConfig` value.
+    Execution behavior (executor, pool size, ERI kernel, telemetry
+    sinks) comes from one :class:`repro.runtime.ExecutionConfig` value.
     ``executor="process"`` evaluates the surviving quartets on a
     persistent :class:`repro.runtime.pool.ExchangeWorkerPool` instead of
-    in-process.  Screening stays in the parent, so both executors walk
-    the identical quartet list; only the evaluation site changes.  An
-    externally owned pool can be shared (e.g. across the SCFs of an MD
+    in-process.  ``kernel="batched"`` groups the surviving quartet list
+    by L-class and runs the batched kernel + class-level scatters
+    (agrees with the per-quartet reference to ~1e-13); screening always
+    stays in the parent and is kernel-independent, so both kernels and
+    both executors walk the identical quartet list.  An externally
+    owned pool can be shared (e.g. across the SCFs of an MD
     trajectory); otherwise the builder spawns and owns one.
 
     The legacy ``executor=``/``nworkers=`` kwargs still work behind a
@@ -127,6 +279,7 @@ class DirectJKBuilder:
         self.basis = basis
         self.eps = eps
         self.executor = self.config.executor
+        self.kernel = self.config.kernel
         self.engine = ERIEngine(basis)
         self.Q = self.engine.schwarz_bounds()
         self._keys = sorted(self.engine.pairs)
@@ -162,7 +315,8 @@ class DirectJKBuilder:
               ) -> tuple[np.ndarray | None, np.ndarray | None]:
         """Build J and/or K for density ``D`` (AO basis, symmetric)."""
         tr = self.config.trace
-        with tr.span("jk.build", cat="scf", executor=self.executor):
+        with tr.span("jk.build", cat="scf", executor=self.executor,
+                     kernel=self.kernel):
             if self.executor == "process":
                 return self._build_process(D, want_j, want_k)
             nbf = self.basis.nbf
@@ -176,19 +330,22 @@ class DirectJKBuilder:
             # the bitwise result — is unchanged
             with tr.span("jk.screen", cat="screening", eps=self.eps):
                 pairs = self._screened_pairs(dmax)
-            for (i, j, kets) in pairs:
-                with tr.span("jk.quartet_batch", cat="quartets",
-                             nkets=len(kets)):
-                    for (k, l) in kets:
-                        k, l = int(k), int(l)
-                        block = self.engine.quartet(i, j, k, l)
-                        if want_j:
-                            scatter_coulomb(self.basis, J, block, D,
-                                            (i, j, k, l))
-                        if want_k:
-                            # all distinct index permutations contribute
-                            scatter_exchange(self.basis, K, block, D,
-                                             (i, j, k, l))
+            if self.kernel == "batched":
+                self._eval_batched(pairs, D, J, K, tr)
+            else:
+                for (i, j, kets) in pairs:
+                    with tr.span("jk.quartet_batch", cat="quartets",
+                                 nkets=len(kets)):
+                        for (k, l) in kets:
+                            k, l = int(k), int(l)
+                            block = self.engine.quartet(i, j, k, l)
+                            if want_j:
+                                scatter_coulomb(self.basis, J, block, D,
+                                                (i, j, k, l))
+                            if want_k:
+                                # all distinct index permutations contribute
+                                scatter_exchange(self.basis, K, block, D,
+                                                 (i, j, k, l))
             # the counter is derived from the engine (the single counted
             # evaluation path) rather than kept as separate bookkeeping
             self.quartets_computed = self.engine.quartets_computed - nq_start
@@ -204,6 +361,21 @@ class DirectJKBuilder:
                 tr.metrics.count("jk.quartets", self.quartets_computed)
                 tr.metrics.absorb_engine(self.engine)
             return J, K
+
+    def _eval_batched(self, pairs, D, J, K, tr) -> None:
+        """Evaluate + scatter the screened quartet list class-by-class."""
+        from ..integrals.batch import flatten_pairs
+
+        with tr.span("batch.assemble", cat="batch"):
+            groups = self.engine.group_quartets(flatten_pairs(pairs))
+        for grp in groups:
+            with tr.span("batch.eval", cat="batch", nq=len(grp)):
+                blocks = self.engine.quartet_batch(grp)
+            with tr.span("batch.scatter", cat="batch", nq=len(grp)):
+                if J is not None:
+                    scatter_coulomb_batch(self.basis, J, blocks, D, grp)
+                if K is not None:
+                    scatter_exchange_batch(self.basis, K, blocks, D, grp)
 
     def _screened_pairs(self, dmax: float) -> list[tuple[int, int, np.ndarray]]:
         """Per-bra surviving ket lists under the density-aware screen.
@@ -241,7 +413,8 @@ class DirectJKBuilder:
             jobs[w].cost += len(p[2])
             loads[w] = jobs[w].cost
         results, nq = self._pool.exchange(D, jobs, want_j=want_j,
-                                          want_k=want_k, tracer=tr)
+                                          want_k=want_k, tracer=tr,
+                                          kernel=self.kernel)
         self.engine.quartets_computed += nq
         self.quartets_computed = nq
         nbf = self.basis.nbf

@@ -56,7 +56,12 @@ def test_quartet_counter_matches_tasklist(dimer_state, executor):
                                           executor=executor, engine=engine,
                                           **kw)
     assert engine.quartets_computed == tasks.total_quartets
-    assert engine.quartets_screening == len(engine.pairs)
+    # Schwarz bounds are cached per basis object: exactly one engine per
+    # basis pays for the diagonal quartets, every later engine reads the
+    # cache and tallies nothing
+    fresh = ERIEngine(basis)
+    fresh.schwarz_bounds()
+    assert fresh.quartets_screening == 0
 
 
 def test_shared_pool_reused_across_builds(dimer_state):

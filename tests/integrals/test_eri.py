@@ -115,15 +115,23 @@ def test_engine_counts_quartets(water_basis):
     assert eng.quartets_computed == 2
 
 
-def test_engine_counts_screening_separately(water_basis):
+def test_engine_counts_screening_separately():
     """Schwarz-bound quartets are tallied on their own counter so build
-    statistics stay comparable to the task list's surviving count."""
-    eng = ERIEngine(water_basis)
+    statistics stay comparable to the task list's surviving count — and
+    only by the one engine that actually evaluated them: the bound table
+    is cached on the basis object, so every later engine (SCF rebuilds,
+    forked pool workers) reads it for free."""
+    basis = build_basis(builders.water(), "sto-3g")
+    eng = ERIEngine(basis)
     eng.schwarz_bounds()
     assert eng.quartets_screening == len(eng.pairs)
     assert eng.quartets_computed == 0
-    eng.schwarz_bounds()   # cached: no re-evaluation
+    eng.schwarz_bounds()   # cached on the engine: no re-evaluation
     assert eng.quartets_screening == len(eng.pairs)
+    second = ERIEngine(basis)
+    bounds = second.schwarz_bounds()   # cached on the basis
+    assert second.quartets_screening == 0
+    assert bounds == eng.schwarz_bounds()
 
 
 def test_pair_lookup_orders_indices(water_basis):

@@ -12,6 +12,7 @@ def test_defaults():
     assert cfg.executor == "serial"
     assert cfg.nworkers is None
     assert cfg.pool_timeout is None
+    assert cfg.kernel == "quartet"
     assert cfg.tracer is None
     assert not cfg.profile
     assert cfg.trace is NULL_TRACER
@@ -51,6 +52,17 @@ def test_invalid_nworkers(bad):
 def test_invalid_pool_timeout(bad):
     with pytest.raises(ValueError):
         ExecutionConfig(pool_timeout=bad)
+
+
+def test_kernel_values():
+    assert ExecutionConfig(kernel="batched").kernel == "batched"
+    assert ExecutionConfig(kernel="quartet").kernel == "quartet"
+
+
+@pytest.mark.parametrize("bad", ["simd", "BATCHED", ""])
+def test_invalid_kernel(bad):
+    with pytest.raises(ValueError, match="kernel"):
+        ExecutionConfig(kernel=bad)
 
 
 def test_resolve_default_is_shared_singleton():
