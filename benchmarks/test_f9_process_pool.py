@@ -23,6 +23,7 @@ import pytest
 from repro.basis import build_basis
 from repro.chem import builders
 from repro.hfx import distributed_exchange
+from repro.runtime import ExecutionConfig
 from repro.runtime.pool import ExchangeWorkerPool, default_nworkers
 
 N_WATERS = int(os.environ.get("REPRO_BENCH_POOL_WATERS", "4"))
@@ -59,7 +60,8 @@ def test_f9_process_pool(cluster_state, report):
     try:
         t0 = time.perf_counter()
         K_pool, _, _, _ = distributed_exchange(
-            basis, D, nranks=NRANKS, eps=EPS, executor="process", pool=pool)
+            basis, D, nranks=NRANKS, eps=EPS, pool=pool,
+            config=ExecutionConfig(executor="process"))
         t_pool = time.perf_counter() - t0
     finally:
         pool.close()

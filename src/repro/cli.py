@@ -58,11 +58,14 @@ def _cmd_scf(args) -> int:
     import json
 
     from repro.runtime import ExecutionConfig, Tracer
-    from repro.runtime.pool import default_nworkers, resolve_pool_timeout
+    from repro.runtime.pool import (default_nworkers,
+                                    resolve_pool_max_retries,
+                                    resolve_pool_timeout)
 
-    # validate the env knob at the boundary, before any pool spawns
+    # validate the env knobs at the boundary, before any pool spawns
     try:
         pool_timeout = resolve_pool_timeout()
+        pool_max_retries = resolve_pool_max_retries()
     except ValueError as e:
         raise SystemExit(f"error: {e}") from None
     mol = _load_molecule(args)
@@ -79,7 +82,9 @@ def _cmd_scf(args) -> int:
     tracer = Tracer(name=f"scf:{mol.name or 'molecule'}") \
         if (args.trace or args.profile) else None
     config = ExecutionConfig(executor=args.executor, nworkers=args.nworkers,
-                             pool_timeout=pool_timeout, kernel=args.kernel,
+                             pool_timeout=pool_timeout,
+                             pool_max_retries=pool_max_retries,
+                             kernel=args.kernel,
                              tracer=tracer, profile=args.profile)
     label = args.method.upper()
     if args.method == "uhf" or mol.multiplicity > 1:
@@ -116,6 +121,12 @@ def _cmd_scf(args) -> int:
         say(f"E({label}/{args.basis}) = "
             f"{res.energy:.8f} Ha  converged={res.converged} "
             f"niter={res.niter}")
+    if tracer is not None:
+        ndegraded = tracer.snapshot().counters.get("pool.degraded_builds", 0)
+        if ndegraded:
+            say(f"note: {ndegraded} build(s) degraded to the serial "
+                "executor after unrecoverable worker-pool failures "
+                "(see pool.* counters)")
     if tracer is not None and args.trace:
         nspans = tracer.write_chrome_trace(args.trace)
         print(f"trace: {nspans} spans -> {args.trace}",

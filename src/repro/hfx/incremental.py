@@ -33,20 +33,23 @@ class IncrementalExchange:
     ``rebuild_every`` forces a full (non-incremental) build periodically
     to stop screened-away contributions from accumulating — standard
     practice in production incremental-Fock codes.
+
+    Fault tolerance mirrors :class:`repro.scf.fock.DirectJKBuilder`: an
+    unrecoverable pool degrades this and later updates to the serial
+    executor (warn once, ``pool.degraded_builds``) — the running K is
+    unaffected because the lost delta build is simply re-run serially.
     """
 
     def __init__(self, basis: BasisSet, eps: float = 1e-10,
-                 rebuild_every: int = 8, executor: str | None = None,
-                 nworkers: int | None = None, pool=None, config=None):
+                 rebuild_every: int = 8, pool=None, config=None):
         from ..runtime.execconfig import resolve_execution
 
-        self.config = resolve_execution(config, executor=executor,
-                                        nworkers=nworkers,
-                                        owner="IncrementalExchange")
+        self.config = resolve_execution(config, owner="IncrementalExchange")
         self.basis = basis
         self.eps = eps
         self.rebuild_every = rebuild_every
         self.executor = self.config.executor
+        self.degraded = False
         self.engine = ERIEngine(basis)
         self.Q = self.engine.schwarz_bounds()
         self._keys = sorted(self.Q)
@@ -65,7 +68,8 @@ class IncrementalExchange:
                 pool.reset(basis)
             self._pool = pool or ExchangeWorkerPool(
                 basis, nworkers=self.config.nworkers,
-                timeout=self.config.pool_timeout)
+                timeout=self.config.pool_timeout,
+                max_retries=self.config.pool_max_retries)
             self._owns_pool = pool is None
 
     def close(self) -> None:
@@ -117,8 +121,69 @@ class IncrementalExchange:
                 computed += len(kept)
         return surviving, computed, skipped
 
+    def _degrade(self, reason, tr) -> None:
+        """Give up on the pool for the rest of this builder's life."""
+        import warnings
+
+        warnings.warn(
+            f"IncrementalExchange: worker pool is unrecoverable "
+            f"({reason}); falling back to the serial executor for this "
+            "and later updates", RuntimeWarning, stacklevel=4)
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            if self._owns_pool:
+                pool.close(force=True)
+        self.executor = "serial"
+        self.degraded = True
+        if tr.enabled:
+            tr.metrics.count("pool.degraded_builds", 1)
+
+    def _eval_pool(self, surviving, dD, Kdelta, tr) -> None:
+        """Delta-K via the worker pool (raises WorkerDeathError when the
+        pool cannot heal itself)."""
+        from ..runtime.pool import RankJob
+
+        jobs = [RankJob(rank=w) for w in range(self._pool.nworkers)]
+        for (i, j, kets) in sorted(surviving, key=lambda p: -len(p[2])):
+            w = min(range(len(jobs)), key=lambda w: jobs[w].cost)
+            jobs[w].pairs.append((i, j, kets))
+            jobs[w].cost += len(kets)
+        results, nq = self._pool.exchange(dD, jobs, want_j=False,
+                                          want_k=True, tracer=tr,
+                                          kernel=self.config.kernel)
+        for _, Kw in results.values():
+            Kdelta += Kw
+        # keep the parent engine's counter consistent with the
+        # serial executor, where quartet() counts every evaluation
+        self.engine.quartets_computed += nq
+
+    def _eval_serial(self, surviving, dD, Kdelta, tr) -> None:
+        """Delta-K in-process (reference path, kernel-selectable)."""
+        if self.config.kernel == "batched":
+            from ..integrals.batch import flatten_pairs
+
+            with tr.span("batch.assemble", cat="batch"):
+                groups = self.engine.group_quartets(
+                    flatten_pairs(surviving))
+            for grp in groups:
+                with tr.span("batch.eval", cat="batch", nq=len(grp)):
+                    blocks = self.engine.quartet_batch(grp)
+                with tr.span("batch.scatter", cat="batch", nq=len(grp)):
+                    scatter_exchange_batch(self.basis, Kdelta, blocks,
+                                           dD, grp)
+        else:
+            for (i, j, kets) in surviving:
+                with tr.span("kinc.quartet_batch", cat="quartets",
+                             nkets=len(kets)):
+                    for (k, l) in kets:
+                        block = self.engine.quartet(i, j, int(k), int(l))
+                        scatter_exchange(self.basis, Kdelta, block, dD,
+                                         (i, j, int(k), int(l)))
+
     def update(self, D: np.ndarray) -> np.ndarray:
         """Advance to density ``D``; returns the current K estimate."""
+        from ..runtime.pool import WorkerDeathError
+
         tr = self.config.trace
         full = (self.builds % self.rebuild_every == 0)
         with tr.span("kinc.update", cat="hfx", full=full,
@@ -131,42 +196,20 @@ class IncrementalExchange:
                 surviving, computed, skipped = self._screen(dmax)
             Kdelta = np.zeros_like(self.K)
             if self.executor == "process":
-                from ..runtime.pool import RankJob
-
-                jobs = [RankJob(rank=w) for w in range(self._pool.nworkers)]
-                for (i, j, kets) in sorted(surviving,
-                                           key=lambda p: -len(p[2])):
-                    w = min(range(len(jobs)), key=lambda w: jobs[w].cost)
-                    jobs[w].pairs.append((i, j, kets))
-                    jobs[w].cost += len(kets)
-                results, nq = self._pool.exchange(dD, jobs, want_j=False,
-                                                  want_k=True, tracer=tr,
-                                                  kernel=self.config.kernel)
-                for _, Kw in results.values():
-                    Kdelta += Kw
-                # keep the parent engine's counter consistent with the
-                # serial executor, where quartet() counts every evaluation
-                self.engine.quartets_computed += nq
-            elif self.config.kernel == "batched":
-                from ..integrals.batch import flatten_pairs
-
-                with tr.span("batch.assemble", cat="batch"):
-                    groups = self.engine.group_quartets(
-                        flatten_pairs(surviving))
-                for grp in groups:
-                    with tr.span("batch.eval", cat="batch", nq=len(grp)):
-                        blocks = self.engine.quartet_batch(grp)
-                    with tr.span("batch.scatter", cat="batch", nq=len(grp)):
-                        scatter_exchange_batch(self.basis, Kdelta, blocks,
-                                               dD, grp)
+                if self._pool is None or self._pool.closed:
+                    self._degrade("pool already closed", tr)
+                    self._eval_serial(surviving, dD, Kdelta, tr)
+                else:
+                    try:
+                        self._eval_pool(surviving, dD, Kdelta, tr)
+                    except WorkerDeathError as e:
+                        self._degrade(e, tr)
+                        # the lost delta build re-runs in full: partial
+                        # worker results are discarded, so K stays exact
+                        Kdelta[:] = 0.0
+                        self._eval_serial(surviving, dD, Kdelta, tr)
             else:
-                for (i, j, kets) in surviving:
-                    with tr.span("kinc.quartet_batch", cat="quartets",
-                                 nkets=len(kets)):
-                        for (k, l) in kets:
-                            block = self.engine.quartet(i, j, int(k), int(l))
-                            scatter_exchange(self.basis, Kdelta, block, dD,
-                                             (i, j, int(k), int(l)))
+                self._eval_serial(surviving, dD, Kdelta, tr)
             self.K += Kdelta
         self.D_ref = D.copy()
         self.builds += 1

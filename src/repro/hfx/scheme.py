@@ -25,8 +25,8 @@ Two execution paths:
   verified against the serial reference in the tests — the scheme is a
   real algorithm, not only a model.
 
-``distributed_exchange(..., executor="process")`` additionally runs the
-rank loop *in parallel* on local cores through
+``distributed_exchange(..., config=ExecutionConfig(executor="process"))``
+additionally runs the rank loop *in parallel* on local cores through
 :class:`repro.runtime.pool.ExchangeWorkerPool`: each simulated rank's
 screened quartet batch executes in a persistent worker process and the
 per-rank partial K matrices are reduced exactly like the serial path's
@@ -46,8 +46,7 @@ from ..machine.bgq import BGQConfig
 from ..machine.node import NodeComputeModel
 from ..machine.simulator import BuildTiming, CommPlan, simulate_static_build
 from ..runtime.comm import CommLog, SimWorld
-from ..runtime.execconfig import (DEFAULT_EXECUTION, ExecutionConfig,
-                                  resolve_execution)
+from ..runtime.execconfig import ExecutionConfig, resolve_execution
 from ..scf.fock import scatter_exchange, scatter_exchange_batch
 from .partition import Partition, partition_tasks
 from .tasklist import TaskList, build_tasklist
@@ -99,8 +98,7 @@ class HFXScheme:
     config:
         :class:`repro.runtime.ExecutionConfig` for :meth:`execute` (and
         the telemetry sink :meth:`simulate` records its logical phase
-        spans into).  The legacy ``executor=``/``nworkers=`` fields
-        still work behind a deprecation shim.
+        spans into).
     """
 
     tasks: TaskList
@@ -111,26 +109,11 @@ class HFXScheme:
     node: NodeComputeModel | None = None
     collective_algorithm: str = "torus_tree"
     dilation: float = 1.0
-    executor: str = "serial"
-    nworkers: int | None = None
     config: ExecutionConfig | None = None
 
     def __post_init__(self) -> None:
-        legacy = self.executor != "serial" or self.nworkers is not None
-        if legacy:
-            if self.config is not None:
-                raise ValueError(
-                    "HFXScheme: pass either config=ExecutionConfig(...) or "
-                    "the legacy executor=/nworkers= fields, not both")
-            warnings.warn(
-                "HFXScheme(executor=/nworkers=) is deprecated; pass "
-                "config=ExecutionConfig(...) instead",
-                DeprecationWarning, stacklevel=3)
-            self.config = ExecutionConfig(executor=self.executor,
-                                          nworkers=self.nworkers)
-        elif self.config is None:
-            self.config = DEFAULT_EXECUTION
-        # keep the legacy fields readable for existing callers
+        self.config = resolve_execution(self.config, owner="HFXScheme")
+        # readable mirrors of the config's executor knobs
         self.executor = self.config.executor
         self.nworkers = self.config.nworkers
 
@@ -207,8 +190,6 @@ def _rank_jobs(tasks: TaskList, part: Partition, nranks: int) -> list:
 def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
                          eps: float = 1e-10,
                          partitioner: str = "serpentine",
-                         executor: str | None = None,
-                         nworkers: int | None = None,
                          pool=None,
                          engine: ERIEngine | None = None,
                          config: ExecutionConfig | None = None
@@ -221,17 +202,18 @@ def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
     partials.  Returns ``(K, comm_log, tasks, partition)``.
 
     ``config`` (an :class:`repro.runtime.ExecutionConfig`) selects the
-    executor and carries the telemetry sinks; the legacy ``executor=``/
-    ``nworkers=`` kwargs still work behind a deprecation shim.
+    executor and carries the telemetry sinks.
     ``config.executor="serial"`` (the reference) runs the rank loop
     in-process; ``"process"`` dispatches the same per-rank batches to a
     persistent worker pool (``config.nworkers`` processes, or an
     externally owned ``pool``) so the build really runs on multiple
     cores.  Both paths accumulate identical per-rank partials, so they
-    agree to reduction roundoff.
+    agree to reduction roundoff.  An unrecoverable pool failure (worker
+    deaths past the retry budget) degrades the build to the serial rank
+    loop — one ``RuntimeWarning`` plus a ``pool.degraded_builds``
+    count — instead of raising.
     """
-    cfg = resolve_execution(config, executor=executor, nworkers=nworkers,
-                            owner="distributed_exchange")
+    cfg = resolve_execution(config, owner="distributed_exchange")
     tr = cfg.trace
     if engine is None:
         engine = ERIEngine(basis)
@@ -243,28 +225,48 @@ def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
             part = partition_tasks(tasks.flops, nranks, partitioner)
         world = SimWorld(nranks)
         nbf = basis.nbf
+        partials = None
         if cfg.executor == "process":
-            from ..runtime.pool import ExchangeWorkerPool
+            from ..runtime.pool import ExchangeWorkerPool, WorkerDeathError
 
             jobs = _rank_jobs(tasks, part, nranks)
             owns = pool is None
-            if owns:
-                with tr.span("pool.spawn", cat="pool"):
-                    pool = ExchangeWorkerPool(basis, nworkers=cfg.nworkers,
-                                              timeout=cfg.pool_timeout)
-            elif pool.basis is not basis:
-                pool.reset(basis)
-            try:
-                results, nq = pool.exchange(D, jobs, want_j=False,
-                                            want_k=True, tracer=tr,
-                                            kernel=cfg.kernel)
-            finally:
+            err = None
+            if not owns and pool.closed:
+                # a shared pool that already died elsewhere
+                err = "pool already closed"
+            else:
                 if owns:
-                    pool.close()
-            # fold the workers' evaluations into the parent engine so the
-            # counter stays consistent across executors
-            engine.quartets_computed += nq
-            partials = [results[r][1] for r in range(nranks)]
+                    with tr.span("pool.spawn", cat="pool"):
+                        pool = ExchangeWorkerPool(
+                            basis, nworkers=cfg.nworkers,
+                            timeout=cfg.pool_timeout,
+                            max_retries=cfg.pool_max_retries)
+                elif pool.basis is not basis:
+                    pool.reset(basis)
+                try:
+                    results, nq = pool.exchange(D, jobs, want_j=False,
+                                                want_k=True, tracer=tr,
+                                                kernel=cfg.kernel)
+                except WorkerDeathError as e:
+                    err = e
+                finally:
+                    if owns:
+                        pool.close(force=err is not None)
+            if err is None:
+                # fold the workers' evaluations into the parent engine so
+                # the counter stays consistent across executors
+                engine.quartets_computed += nq
+                partials = [results[r][1] for r in range(nranks)]
+            else:
+                warnings.warn(
+                    f"distributed_exchange: worker pool is unrecoverable "
+                    f"({err}); rebuilding on the serial executor",
+                    RuntimeWarning, stacklevel=2)
+                if tr.enabled:
+                    tr.metrics.count("pool.degraded_builds", 1)
+        if partials is not None:
+            pass
         elif cfg.kernel == "batched":
             from ..integrals.batch import flatten_pairs
 

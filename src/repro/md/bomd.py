@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..chem.molecule import Molecule
-from ..runtime.execconfig import DEFAULT_EXECUTION, ExecutionConfig
+from ..runtime.execconfig import ExecutionConfig
 from ..scf.dft import RKS
 from ..scf.rhf import RHF, SCFResult
 
@@ -50,8 +50,10 @@ class SCFForceEngine:
         pool is spawned at the first SCF and reused by every build of
         the trajectory — each new geometry re-targets the live workers
         instead of respawning them.  Its tracer (if any) records the
-        per-step force-evaluation spans.  The legacy ``executor=``/
-        ``nworkers=`` fields still work behind a deprecation shim.
+        per-step force-evaluation spans.  If the pool becomes
+        unrecoverable mid-trajectory (worker deaths past the retry
+        budget), the remaining steps run on the serial executor — one
+        ``RuntimeWarning``, no aborted trajectory.
     """
 
     mol: Molecule
@@ -60,8 +62,6 @@ class SCFForceEngine:
     fd_step: float = 1e-3
     reuse_density: bool = True
     conv_tol: float = 1e-8
-    executor: str = "serial"
-    nworkers: int | None = None
     config: ExecutionConfig | None = None
     scf_kwargs: dict = field(default_factory=dict)
     last_result: SCFResult | None = None
@@ -69,22 +69,12 @@ class SCFForceEngine:
     _pool: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        legacy = self.executor != "serial" or self.nworkers is not None
-        if legacy:
-            if self.config is not None:
-                raise ValueError(
-                    "SCFForceEngine: pass either config=ExecutionConfig(...)"
-                    " or the legacy executor=/nworkers= fields, not both")
-            warnings.warn(
-                "SCFForceEngine(executor=/nworkers=) is deprecated; pass "
-                "config=ExecutionConfig(...) instead",
-                DeprecationWarning, stacklevel=3)
-            self.config = ExecutionConfig(executor=self.executor,
-                                          nworkers=self.nworkers)
-        elif self.config is None:
-            self.config = DEFAULT_EXECUTION
+        from ..runtime.execconfig import resolve_execution
+
+        self.config = resolve_execution(self.config, owner="SCFForceEngine")
         self.executor = self.config.executor
         self.nworkers = self.config.nworkers
+        self.degraded = False
         if self.executor == "process" and self.method.lower() != "hf":
             raise ValueError("executor='process' is wired through the "
                              "direct RHF builder; use method='hf'")
@@ -95,10 +85,30 @@ class SCFForceEngine:
             self._pool.close()
             self._pool = None
 
+    def _degrade_pool(self) -> None:
+        """The trajectory pool broke; finish the run serially."""
+        warnings.warn(
+            "SCFForceEngine: the trajectory's worker pool is "
+            "unrecoverable; the remaining MD steps run on the serial "
+            "executor", RuntimeWarning, stacklevel=3)
+        self._pool = None
+        self.executor = "serial"
+        self.degraded = True
+        self.config = self.config.replace(executor="serial")
+        tr = self.config.trace
+        if tr.enabled:
+            tr.metrics.count("pool.degraded_builds", 1)
+
     def _solver(self, mol: Molecule):
         kwargs = dict(self.scf_kwargs)
-        kwargs.setdefault("config", self.config)
         if self.method.lower() == "hf":
+            if self.executor == "process" and self._pool is not None \
+                    and self._pool.closed:
+                # a build inside the previous step's SCF degraded; the
+                # builder already warned and fell back, but the shared
+                # pool is gone for good — stop handing it out
+                self._degrade_pool()
+            kwargs.setdefault("config", self.config)
             if self.executor == "process":
                 from ..basis.basisset import build_basis
                 from ..runtime.pool import ExchangeWorkerPool
@@ -107,12 +117,14 @@ class SCFForceEngine:
                 if self._pool is None:
                     self._pool = ExchangeWorkerPool(
                         basis, nworkers=self.config.nworkers,
-                        timeout=self.config.pool_timeout)
+                        timeout=self.config.pool_timeout,
+                        max_retries=self.config.pool_max_retries)
                 kwargs.setdefault("mode", "direct")
                 kwargs.update(jk_pool=self._pool)
                 return RHF(basis.molecule, basis, conv_tol=self.conv_tol,
                            **kwargs)
             return RHF(mol, self.basis, conv_tol=self.conv_tol, **kwargs)
+        kwargs.setdefault("config", self.config)
         return RKS(mol, self.basis, functional=self.method,
                    conv_tol=self.conv_tol, **kwargs)
 
@@ -168,26 +180,13 @@ class BOMD:
     temperature: float | None = None
     seed: int = 0
     analytic_forces: bool = False
-    executor: str = "serial"
-    nworkers: int | None = None
     config: ExecutionConfig | None = None
     engine: object = field(init=False)
 
     def __post_init__(self) -> None:
-        legacy = self.executor != "serial" or self.nworkers is not None
-        if legacy:
-            if self.config is not None:
-                raise ValueError(
-                    "BOMD: pass either config=ExecutionConfig(...) or the "
-                    "legacy executor=/nworkers= fields, not both")
-            warnings.warn(
-                "BOMD(executor=/nworkers=) is deprecated; pass "
-                "config=ExecutionConfig(...) instead",
-                DeprecationWarning, stacklevel=3)
-            self.config = ExecutionConfig(executor=self.executor,
-                                          nworkers=self.nworkers)
-        elif self.config is None:
-            self.config = DEFAULT_EXECUTION
+        from ..runtime.execconfig import resolve_execution
+
+        self.config = resolve_execution(self.config, owner="BOMD")
         self.executor = self.config.executor
         self.nworkers = self.config.nworkers
         if self.analytic_forces:

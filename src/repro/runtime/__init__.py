@@ -11,8 +11,9 @@ from .trace import Timer, Trace, TraceEvent
 from .telemetry import (Span, Tracer, NullTracer, NULL_TRACER,
                         MetricsRegistry, TelemetrySnapshot, chrome_trace)
 from .execconfig import ExecutionConfig, DEFAULT_EXECUTION, resolve_execution
-from .pool import (ExchangeWorkerPool, RankJob, default_nworkers,
-                   resolve_pool_timeout)
+from .pool import (ExchangeWorkerPool, RankJob, WorkerDeathError,
+                   default_nworkers, resolve_nworkers,
+                   resolve_pool_timeout, resolve_pool_max_retries)
 
 __all__ = [
     "CommLog", "SimComm", "SimWorld",
@@ -22,6 +23,7 @@ __all__ = [
     "Span", "Tracer", "NullTracer", "NULL_TRACER",
     "MetricsRegistry", "TelemetrySnapshot", "chrome_trace",
     "ExecutionConfig", "DEFAULT_EXECUTION", "resolve_execution",
-    "ExchangeWorkerPool", "RankJob", "default_nworkers",
-    "resolve_pool_timeout",
+    "ExchangeWorkerPool", "RankJob", "WorkerDeathError",
+    "default_nworkers", "resolve_nworkers",
+    "resolve_pool_timeout", "resolve_pool_max_retries",
 ]

@@ -5,14 +5,14 @@ sites (``run_rhf``, ``HFXScheme``, ``distributed_exchange``,
 ``DirectJKBuilder``, ``IncrementalExchange``, ``BOMD``).  This module
 replaces them with one frozen :class:`ExecutionConfig` value that also
 carries the telemetry sinks, threaded through every layer as
-``config=``.  The legacy kwargs still work through
-:func:`resolve_execution`, which emits a :class:`DeprecationWarning`
-and builds the equivalent config.
+``config=``.  The PR 2 deprecation shim that folded the legacy kwargs
+into a config has served its one-window life and is gone;
+:func:`resolve_execution` now only normalizes ``config=None`` to the
+default and type-checks what it is given.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 
 from .telemetry import NULL_TRACER, Tracer
@@ -37,6 +37,11 @@ class ExecutionConfig:
     pool_timeout:
         Seconds any single pool wait may take before the pool declares a
         worker hung (default: ``REPRO_POOL_TIMEOUT`` or 120 s).
+    pool_max_retries:
+        Recovery rounds the pool may spend respawning dead workers and
+        re-running their rank jobs before it declares itself broken and
+        the caller degrades to the serial executor (default:
+        ``REPRO_POOL_MAX_RETRIES`` or 2; ``0`` disables recovery).
     kernel:
         ERI evaluation granularity: ``"quartet"`` (one shell quartet per
         call; the bit-exact reference) or ``"batched"`` (whole L-class
@@ -55,6 +60,7 @@ class ExecutionConfig:
     executor: str = "serial"
     nworkers: int | None = None
     pool_timeout: float | None = None
+    pool_max_retries: int | None = None
     kernel: str = "quartet"
     tracer: Tracer | None = None
     profile: bool = False
@@ -86,6 +92,13 @@ class ExecutionConfig:
                 raise ValueError(
                     f"pool_timeout must be a positive number of seconds, "
                     f"got {self.pool_timeout!r}")
+        if self.pool_max_retries is not None:
+            if not isinstance(self.pool_max_retries, int) or \
+                    isinstance(self.pool_max_retries, bool) or \
+                    self.pool_max_retries < 0:
+                raise ValueError(
+                    f"pool_max_retries must be a non-negative integer, "
+                    f"got {self.pool_max_retries!r}")
 
     @property
     def trace(self) -> Tracer:
@@ -102,30 +115,19 @@ DEFAULT_EXECUTION = ExecutionConfig()
 
 
 def resolve_execution(config: ExecutionConfig | None = None, *,
-                      executor: str | None = None,
-                      nworkers: int | None = None,
-                      pool_timeout: float | None = None,
                       owner: str = "this API") -> ExecutionConfig:
-    """Fold legacy ``executor=``/``nworkers=`` kwargs into a config.
+    """Normalize a ``config=`` argument: default it, type-check it.
 
-    The deprecation shim of the ExecutionConfig migration: call sites
-    accept both styles, the legacy one warns, and mixing them is an
-    error (the caller's intent would be ambiguous).
+    The PR 2 legacy-kwarg shim is gone (its deprecation window closed);
+    a stray ``executor=``/``nworkers=`` kwarg now fails at the call
+    site's signature, and a wrong-typed ``config`` fails here with the
+    owner's name instead of deep inside the pool.
     """
-    legacy = {k: v for k, v in (("executor", executor),
-                                ("nworkers", nworkers),
-                                ("pool_timeout", pool_timeout))
-              if v is not None}
-    if legacy:
-        names = "/".join(f"{k}=" for k in legacy)
-        if config is not None:
-            raise ValueError(
-                f"{owner}: pass either config=ExecutionConfig(...) or the "
-                f"legacy {names} kwargs, not both")
-        warnings.warn(
-            f"{owner}: the {names} kwargs are deprecated; pass "
-            "config=ExecutionConfig(...) instead (the kwargs will be "
-            "removed after a deprecation window)",
-            DeprecationWarning, stacklevel=3)
-        config = ExecutionConfig(**legacy)
-    return config if config is not None else DEFAULT_EXECUTION
+    if config is None:
+        return DEFAULT_EXECUTION
+    if not isinstance(config, ExecutionConfig):
+        raise TypeError(
+            f"{owner}: config must be an ExecutionConfig "
+            f"(the legacy executor=/nworkers= kwargs were removed), "
+            f"got {type(config).__name__}")
+    return config

@@ -24,9 +24,34 @@ All Cauchy-Schwarz / density screening happens in the parent so the
 serial and process executors walk byte-identical quartet lists — the
 pool changes only *where* quartets are evaluated, never *which*.
 
-Every blocking pool operation honours a deadline (default 120 s,
-``REPRO_POOL_TIMEOUT`` overrides) and raises instead of hanging, so a
-wedged forked worker fails the calling test fast.
+Fault tolerance (the paper's 96-rack reality, one level down: node
+failure is a fact of life and the static master-less schedule must
+survive it):
+
+* **detection** — every wait watches the worker's ``Process.sentinel``
+  alongside its pipe, so a worker that dies (OOM kill, BLAS segfault)
+  is diagnosed immediately as a :class:`WorkerDeathError` carrying the
+  worker id, exit code / signal, and the rank jobs it held; a worker
+  that *hangs* is caught by the deadline (default 120 s,
+  ``REPRO_POOL_TIMEOUT`` overrides), killed, and diagnosed the same
+  way;
+* **recovery** — screening happens in the parent and rank jobs are
+  deterministic, so a dead worker's jobs are simply re-run: the pool
+  respawns dead slots (bounded rounds with backoff; default 2,
+  ``REPRO_POOL_MAX_RETRIES`` / ``ExecutionConfig(pool_max_retries=)``
+  override) and re-dispatches *exactly* the lost rank slices — LPT over
+  the survivors when a respawn fails — so the recovered K is
+  bit-identical to an undisturbed build;
+* **degradation** — when the pool cannot be healed it tears itself down
+  and raises; the callers (`DirectJKBuilder`, `IncrementalExchange`,
+  `distributed_exchange`, `SCFForceEngine`) catch that and fall back to
+  the serial executor instead of aborting the SCF/trajectory;
+* **fault injection** — ``REPRO_POOL_FAULT="worker=1,build=2,
+  mode=kill"`` makes worker 1 die at the start of its 2nd ``exec``
+  message (``worker=*`` matches every worker; modes: ``kill`` = SIGKILL
+  mid-build, ``exc`` = simulated unhandled exception, ``hang`` = stop
+  answering), which is how the recovery paths are tested
+  deterministically (``pytest -m fault``).
 """
 
 from __future__ import annotations
@@ -34,19 +59,32 @@ from __future__ import annotations
 import heapq
 import multiprocessing as mp
 import os
+import signal as _signal
 import time
+import warnings
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _sentinel_wait
 
 import numpy as np
 
-__all__ = ["RankJob", "ExchangeWorkerPool", "default_nworkers",
-           "resolve_pool_timeout"]
+__all__ = ["RankJob", "ExchangeWorkerPool", "WorkerDeathError",
+           "default_nworkers", "resolve_pool_timeout",
+           "resolve_pool_max_retries"]
 
 # Hard ceiling on any single wait for a worker reply; a forked worker
 # that wedges (e.g. a BLAS lock inherited mid-acquisition) surfaces as
-# a RuntimeError instead of a hung test session.  REPRO_POOL_TIMEOUT
-# overrides (validated in resolve_pool_timeout, not at import).
+# a diagnosed hung-worker death instead of a hung test session.
+# REPRO_POOL_TIMEOUT overrides (validated in resolve_pool_timeout, not
+# at import).
 DEFAULT_TIMEOUT = 120.0
+
+# Recovery rounds per operation before the pool declares itself broken;
+# REPRO_POOL_MAX_RETRIES / ExecutionConfig(pool_max_retries=) override.
+DEFAULT_MAX_RETRIES = 2
+
+# Backoff before respawning dead workers, scaled by the recovery round
+# (a crash loop — e.g. the machine is out of memory — should not spin).
+RESPAWN_BACKOFF = 0.05
 
 
 def resolve_pool_timeout(value=None) -> float:
@@ -71,6 +109,11 @@ def resolve_pool_timeout(value=None) -> float:
                 "REPRO_POOL_TIMEOUT must be a positive number of "
                 f"seconds, got {raw!r}")
         return value
+    if isinstance(value, bool):
+        # bool passes float(); reject it before it turns into 1.0 s
+        raise ValueError(
+            f"pool timeout must be a positive number of seconds, "
+            f"got {value!r}")
     try:
         value = float(value)
     except (TypeError, ValueError):
@@ -88,6 +131,10 @@ def resolve_nworkers(value=None) -> int:
     """Validate a worker count (``None`` means the usable cores)."""
     if value is None:
         return default_nworkers()
+    if isinstance(value, bool):
+        # bool passes int(); nworkers=True would silently become 1
+        raise ValueError(
+            f"nworkers must be a positive integer, got {value!r}")
     try:
         nw = int(value)
     except (TypeError, ValueError):
@@ -98,12 +145,77 @@ def resolve_nworkers(value=None) -> int:
     return nw
 
 
+def resolve_pool_max_retries(value=None) -> int:
+    """Validate a recovery-round budget (or ``REPRO_POOL_MAX_RETRIES``).
+
+    ``0`` disables recovery (the first worker death breaks the pool);
+    ``None`` reads the environment override, else the default.
+    """
+    if value is None:
+        raw = os.environ.get("REPRO_POOL_MAX_RETRIES")
+        if raw is None:
+            return DEFAULT_MAX_RETRIES
+        value = raw
+    # bool passes int(); float would silently truncate
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise ValueError(
+            f"pool max_retries must be a non-negative integer, "
+            f"got {value!r}")
+    try:
+        n = int(value)
+    except ValueError:
+        raise ValueError(
+            f"pool max_retries must be a non-negative integer, "
+            f"got {value!r}") from None
+    if n < 0:
+        raise ValueError(
+            f"pool max_retries must be a non-negative integer, got {n}")
+    return n
+
+
 def default_nworkers() -> int:
     """Worker count when the caller does not choose: the usable cores."""
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # platforms without affinity masks
         return max(1, os.cpu_count() or 1)
+
+
+class WorkerDeathError(RuntimeError):
+    """A pool worker died (or hung past the deadline) mid-operation.
+
+    Carries the diagnosis: which worker, how it exited (``exitcode``,
+    and ``signum`` when it was killed by a signal), whether it was a
+    deadline expiry (``hung``), which phase of the pool protocol it was
+    in, and the rank ids of the jobs it held — the exact slices a
+    recovery pass must re-run.
+    """
+
+    def __init__(self, worker: int, exitcode: int | None = None,
+                 signum: int | None = None, ranks=(),
+                 phase: str = "build", hung: bool = False,
+                 timeout: float | None = None):
+        self.worker = worker
+        self.exitcode = exitcode
+        self.signum = signum
+        self.ranks = tuple(ranks)
+        self.phase = phase
+        self.hung = hung
+        if hung:
+            within = f" within {timeout:g} s" if timeout else ""
+            what = f"did not answer{within} — treating it as hung"
+        elif signum is not None:
+            try:
+                name = _signal.Signals(signum).name
+            except ValueError:
+                name = str(signum)
+            what = f"died (killed by signal {name})"
+        elif exitcode is not None:
+            what = f"died (exit code {exitcode})"
+        else:
+            what = "died (no exit status)"
+        held = f" holding rank jobs {sorted(self.ranks)}" if ranks else ""
+        super().__init__(f"pool worker {worker} {what} during {phase}{held}")
 
 
 @dataclass
@@ -134,7 +246,52 @@ def _lpt_assign(costs: list[float], nworkers: int) -> list[list[int]]:
     return out
 
 
-def _worker_main(conn, dbuf, basis, nbf: int) -> None:
+def _parse_fault(spec: str | None):
+    """Parse the test-only ``REPRO_POOL_FAULT`` injection spec.
+
+    Format: ``worker=<id|*>,build=<n>,mode=<kill|hang|exc>`` — the
+    matching worker triggers the fault at the start of its ``n``-th
+    ``exec`` message (1-based, counted per worker process, so a
+    respawned worker counts from 1 again).  Returns ``(worker, build,
+    mode)`` or ``None`` when unset.
+    """
+    if not spec:
+        return None
+    fields = {"build": "1", "mode": "kill"}
+    for part in spec.split(","):
+        key, sep, val = part.partition("=")
+        key = key.strip()
+        if not sep or key not in ("worker", "build", "mode"):
+            raise ValueError(
+                f"REPRO_POOL_FAULT: bad field {part!r} in {spec!r} "
+                "(expected worker=<id|*>,build=<n>,mode=<kill|hang|exc>)")
+        fields[key] = val.strip()
+    if "worker" not in fields:
+        raise ValueError(f"REPRO_POOL_FAULT must name a worker: {spec!r}")
+    worker = fields["worker"]
+    if worker != "*":
+        worker = int(worker)
+    build = int(fields["build"])
+    mode = fields["mode"]
+    if mode not in ("kill", "hang", "exc"):
+        raise ValueError(
+            f"REPRO_POOL_FAULT mode must be kill|hang|exc, got {mode!r}")
+    return worker, build, mode
+
+
+def _trigger_fault(mode: str) -> None:
+    """Act out an injected worker fault (runs in the child)."""
+    if mode == "kill":
+        os.kill(os.getpid(), _signal.SIGKILL)
+    elif mode == "hang":
+        time.sleep(3600.0)   # parent's deadline kills us long before
+    elif mode == "exc":
+        # simulate an unhandled exception escaping the worker loop:
+        # exit nonzero without replying (no traceback noise in tests)
+        os._exit(1)
+
+
+def _worker_main(conn, dbuf, basis, nbf: int, wid: int) -> None:
     """Worker loop: serve quartet batches until told to stop.
 
     Runs in the child process.  The engine (shell pairs) is rebuilt
@@ -145,6 +302,9 @@ def _worker_main(conn, dbuf, basis, nbf: int) -> None:
     ``exec``, ``timings`` lists one ``(rank, t0, t1, nq)`` record per
     rank batch (``perf_counter`` is CLOCK_MONOTONIC under fork, so the
     parent's tracer can graft the spans onto its own timeline).
+
+    ``wid`` is this worker's pool slot — only used to match the
+    test-only ``REPRO_POOL_FAULT`` injection spec.
     """
     import traceback
 
@@ -153,6 +313,8 @@ def _worker_main(conn, dbuf, basis, nbf: int) -> None:
     from ..scf.fock import (scatter_coulomb, scatter_coulomb_batch,
                             scatter_exchange, scatter_exchange_batch)
 
+    fault = _parse_fault(os.environ.get("REPRO_POOL_FAULT"))
+    nexec = 0
     engine = ERIEngine(basis)
     D = np.frombuffer(dbuf, dtype=np.float64).reshape(nbf, nbf)
     while True:
@@ -163,6 +325,11 @@ def _worker_main(conn, dbuf, basis, nbf: int) -> None:
         cmd = msg[0]
         if cmd == "stop":
             break
+        if cmd == "exec":
+            nexec += 1
+            if fault is not None and fault[0] in ("*", wid) \
+                    and nexec == fault[1]:
+                _trigger_fault(fault[2])
         try:
             if cmd == "reset":
                 basis = msg[1]
@@ -234,8 +401,13 @@ class ExchangeWorkerPool:
         Pool size (default: the usable core count).
     timeout:
         Seconds any single wait for a worker may take before the pool
-        declares the worker hung and raises (default: the validated
-        ``REPRO_POOL_TIMEOUT`` override, else 120 s).
+        declares the worker hung and treats it as dead (default: the
+        validated ``REPRO_POOL_TIMEOUT`` override, else 120 s).
+    max_retries:
+        Recovery rounds per operation before the pool declares itself
+        broken and raises :class:`WorkerDeathError` (default: the
+        validated ``REPRO_POOL_MAX_RETRIES`` override, else 2; ``0``
+        disables recovery).
     start_method:
         ``"fork"`` (default where available) shares the read-only state
         by inheritance; ``"spawn"`` is the portable fallback.
@@ -243,67 +415,188 @@ class ExchangeWorkerPool:
 
     def __init__(self, basis, nworkers: int | None = None,
                  timeout: float | None = None,
+                 max_retries: int | None = None,
                  start_method: str | None = None):
         self.basis = basis
         self.nworkers = resolve_nworkers(nworkers)
         self.timeout = resolve_pool_timeout(timeout)
+        self.max_retries = resolve_pool_max_retries(max_retries)
         self.quartets_computed = 0   # quartets evaluated by workers, total
         self.nbuilds = 0
+        self.worker_deaths = 0       # diagnosed deaths (incl. hangs), total
+        self.respawns = 0            # successful worker respawns, total
+        self.retried_jobs = 0        # rank jobs re-dispatched after a death
         self._closed = False
         if start_method is None:
             start_method = ("fork" if "fork" in mp.get_all_start_methods()
                             else "spawn")
-        ctx = mp.get_context(start_method)
-        nbf = basis.nbf
+        self._ctx = mp.get_context(start_method)
+        self._nbf = basis.nbf
         # density broadcast buffer: allocated before the fork so every
         # worker maps the same pages; the parent rewrites it per build
-        self._dbuf = mp.RawArray("d", nbf * nbf)
-        self._D = np.frombuffer(self._dbuf, dtype=np.float64).reshape(nbf, nbf)
-        self._conns = []
-        self._procs = []
-        for _ in range(self.nworkers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(target=_worker_main,
-                               args=(child_conn, self._dbuf, basis, nbf),
-                               daemon=True)
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+        self._dbuf = mp.RawArray("d", self._nbf * self._nbf)
+        self._D = np.frombuffer(self._dbuf, dtype=np.float64) \
+            .reshape(self._nbf, self._nbf)
+        self._conns = [None] * self.nworkers
+        self._procs = [None] * self.nworkers
+        for w in range(self.nworkers):
+            self._spawn_worker(w)
 
     # --- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether the pool has been torn down (explicitly or after an
+        unrecoverable failure)."""
+        return self._closed
+
+    def _spawn_worker(self, w: int) -> None:
+        """(Re)create the worker in slot ``w`` from the current basis."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._dbuf, self.basis, self._nbf, w),
+            daemon=True)
+        proc.start()
+        child_conn.close()
+        self._conns[w] = parent_conn
+        self._procs[w] = proc
+
+    def _live(self) -> list[int]:
+        """Slots with a (presumed) live worker."""
+        return [w for w in range(self.nworkers)
+                if self._procs[w] is not None]
+
+    def _diagnose_death(self, w: int, phase: str, ranks=(),
+                        hung: bool = False) -> WorkerDeathError:
+        """Reap slot ``w`` and build the diagnosis.
+
+        Tears down only this worker — survivors keep running so a
+        recovery pass can redistribute the lost jobs.  A hung worker is
+        killed first so its slot is safe to respawn.
+        """
+        proc = self._procs[w]
+        exitcode = None
+        if proc is not None:
+            if hung and proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.kill()
+            proc.join(timeout=5.0)
+            exitcode = proc.exitcode
+        signum = -exitcode if (exitcode is not None and exitcode < 0) \
+            else None
+        if self._conns[w] is not None:
+            self._conns[w].close()
+        self._conns[w] = None
+        self._procs[w] = None
+        self.worker_deaths += 1
+        return WorkerDeathError(
+            worker=w, exitcode=exitcode, signum=signum, ranks=ranks,
+            phase=phase, hung=hung, timeout=self.timeout)
+
+    def _respawn_dead(self, round_: int) -> int:
+        """Respawn every dead slot (with backoff); returns the count.
+
+        A slot whose respawn fails (fork refused — e.g. out of memory)
+        stays dead; the caller's next dispatch redistributes its jobs
+        LPT-style over the survivors.
+        """
+        dead = [w for w in range(self.nworkers) if self._procs[w] is None]
+        if dead:
+            time.sleep(min(RESPAWN_BACKOFF * round_, 1.0))
+        n = 0
+        for w in dead:
+            try:
+                self._spawn_worker(w)
+            except OSError:
+                continue
+            self.respawns += 1
+            n += 1
+        return n
 
     def reset(self, basis) -> None:
         """Re-target the live workers at a new geometry (same nbf).
 
         This is the MD-step path: nuclei moved, so shell pairs and
-        Schwarz data are stale, but the workers themselves survive.
+        Schwarz data are stale, but the workers themselves survive.  A
+        worker found dead here (it crashed after its last build) is
+        diagnosed and respawned from the new basis instead of leaving
+        the pool half-alive; an unrecoverable pool tears down fully and
+        raises the diagnosis.
         """
+        if self._closed:
+            raise RuntimeError("pool is closed")
         if basis.nbf != self.basis.nbf:
             raise ValueError(
                 "reset requires an equally sized basis "
                 f"({self.basis.nbf} != {basis.nbf}); build a new pool")
-        self._broadcast(("reset", basis))
+        deadline = time.monotonic() + self.timeout
+        sent, deaths = [], []
+        for w in self._live():
+            try:
+                self._conns[w].send(("reset", basis))
+                sent.append(w)
+            except (BrokenPipeError, OSError):
+                deaths.append(self._diagnose_death(w, "reset"))
+        for w in sent:
+            try:
+                status, payload = self._recv(w, deadline, phase="reset")[:2]
+            except WorkerDeathError as e:
+                deaths.append(e)
+                continue
+            if status != "ok":
+                self.close(force=True)
+                raise RuntimeError(f"pool worker {w} failed:\n{payload}")
+        # respawned workers must build their engines from the new basis
         self.basis = basis
+        if deaths:
+            self._respawn_dead(round_=1)
+            if not self._live():
+                self.close(force=True)
+                raise deaths[-1]
 
     def close(self, force: bool = False) -> None:
-        """Stop the workers and release the pipes (idempotent)."""
+        """Stop the workers and release the pipes (idempotent).
+
+        The orderly path (``force=False``) reports workers that did not
+        exit cleanly: a nonzero exit code after the final build warns
+        instead of disappearing, and a worker that ignores ``stop`` is
+        escalated terminate → kill.
+        """
         if self._closed:
             return
         self._closed = True
         for conn in self._conns:
+            if conn is None:
+                continue
             if not force:
                 try:
                     conn.send(("stop",))
                 except (BrokenPipeError, OSError):
                     pass
             conn.close()
-        for proc in self._procs:
+        for w, proc in enumerate(self._procs):
+            if proc is None:
+                continue
             proc.join(timeout=5.0)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
-        self._conns, self._procs = [], []
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+            if not force and proc.exitcode not in (0, None):
+                code = proc.exitcode
+                how = (f"killed by signal {-code}" if code < 0
+                       else f"exit code {code}")
+                warnings.warn(
+                    f"pool worker {w} had crashed ({how}) before close; "
+                    "its last build may have been recovered or degraded",
+                    RuntimeWarning, stacklevel=2)
+        self._conns = [None] * self.nworkers
+        self._procs = [None] * self.nworkers
 
     def __enter__(self) -> "ExchangeWorkerPool":
         return self
@@ -319,26 +612,96 @@ class ExchangeWorkerPool:
 
     # --- execution ---------------------------------------------------------------
 
-    def _recv(self, w: int, deadline: float):
-        remaining = deadline - time.monotonic()
-        if remaining <= 0 or not self._conns[w].poll(remaining):
-            self.close(force=True)
-            raise RuntimeError(
-                f"pool worker {w} did not answer within {self.timeout:g} s "
-                "— treating it as hung and tearing the pool down")
-        return self._conns[w].recv()
+    def _recv(self, w: int, deadline: float, phase: str = "build",
+              ranks=()):
+        """One worker reply, or a :class:`WorkerDeathError` diagnosis.
 
-    def _broadcast(self, msg) -> None:
-        if self._closed:
-            raise RuntimeError("pool is closed")
+        Waits on the reply pipe *and* the worker's ``Process.sentinel``
+        so a death is detected the moment the OS reaps the child — a
+        closed pipe (``poll()`` is true on EOF too) or an armed sentinel
+        is diagnosed via the exit code instead of surfacing as a bare
+        ``EOFError``; deadline expiry kills the worker and reports it
+        as hung.
+        """
+        conn = self._conns[w]
+        proc = self._procs[w]
+        remaining = deadline - time.monotonic()
+        ready = (_sentinel_wait([conn, proc.sentinel], remaining)
+                 if remaining > 0 else [])
+        if conn in ready:
+            try:
+                return conn.recv()
+            except (EOFError, OSError):
+                # pipe closed (possibly mid-message): the worker died
+                raise self._diagnose_death(w, phase, ranks) from None
+        if proc.sentinel in ready:
+            raise self._diagnose_death(w, phase, ranks)
+        raise self._diagnose_death(w, phase, ranks, hung=True)
+
+    def _dispatch(self, idxs, jobs, want_j, want_k, kernel, tr):
+        """Send jobs ``idxs`` to the live workers (LPT on job cost).
+
+        Returns ``(pending, lost, err)``: which worker holds which job
+        indices, plus any jobs whose worker died at send time (its
+        diagnosis rides along for the caller's recovery pass).
+        """
+        live = self._live()
+        pending: dict[int, list[int]] = {}
+        lost: list[int] = []
+        err = None
+        with tr.span("pool.dispatch", cat="pool", njobs=len(idxs),
+                     nworkers=len(live), kernel=kernel):
+            assign = _lpt_assign([jobs[t].cost for t in idxs], len(live))
+            for slot, sub in zip(live, assign):
+                mine = [idxs[k] for k in sub]
+                if not mine:
+                    continue
+                payload = [(jobs[t].rank, jobs[t].pairs) for t in mine]
+                try:
+                    self._conns[slot].send(("exec", payload, want_j,
+                                            want_k, kernel))
+                except (BrokenPipeError, OSError):
+                    err = self._diagnose_death(
+                        slot, "dispatch",
+                        ranks=[jobs[t].rank for t in mine])
+                    lost.extend(mine)
+                    continue
+                pending[slot] = mine
+        return pending, lost, err
+
+    def _collect(self, pending, jobs, results, tr):
+        """Receive every pending reply; deaths become lost-job lists.
+
+        Surviving workers' results are kept even when a sibling dies —
+        only the dead worker's rank jobs return to the caller for
+        re-dispatch.
+        """
         deadline = time.monotonic() + self.timeout
-        for conn in self._conns:
-            conn.send(msg)
-        for w in range(self.nworkers):
-            status, payload = self._recv(w, deadline)[:2]
-            if status != "ok":
-                self.close(force=True)
-                raise RuntimeError(f"pool worker {w} failed:\n{payload}")
+        lost: list[int] = []
+        err = None
+        nq_total = 0
+        with tr.span("pool.wait", cat="pool", nworkers=len(pending)):
+            for w, mine in pending.items():
+                try:
+                    status, payload, nq, timings = self._recv(
+                        w, deadline, phase="build",
+                        ranks=[jobs[t].rank for t in mine])
+                except WorkerDeathError as e:
+                    lost.extend(mine)
+                    err = e
+                    continue
+                if status != "ok":
+                    self.close(force=True)
+                    raise RuntimeError(f"pool worker {w} failed:\n{payload}")
+                nq_total += nq
+                for rank, J, K in payload:
+                    results[rank] = (J, K)
+                if tr.enabled and timings:
+                    for rank, t0, t1, nq_rank in timings:
+                        tr.add_span("worker.quartet_batch", t0, t1,
+                                    cat="quartets", tid=f"worker-{w}",
+                                    rank=rank, nq=nq_rank)
+        return lost, err, nq_total
 
     def exchange(self, D: np.ndarray, jobs: list[RankJob],
                  want_j: bool = False, want_k: bool = True, tracer=None,
@@ -363,6 +726,15 @@ class ExchangeWorkerPool:
         the dispatch/wait phases and grafts each worker's per-rank
         batch timings — shipped back over the result pipes — into the
         trace as ``worker-N`` lanes.
+
+        A worker death mid-build triggers recovery: dead slots are
+        respawned (up to ``max_retries`` rounds, with backoff; a failed
+        respawn leaves the lost jobs to the LPT pass over the
+        survivors) and exactly the lost rank jobs re-run, so the
+        returned partials are bit-identical to an undisturbed build.
+        When the budget is exhausted — or no worker survives — the pool
+        tears itself down and raises :class:`WorkerDeathError`; callers
+        degrade to the serial executor.
         """
         from .telemetry import NULL_TRACER
 
@@ -374,37 +746,39 @@ class ExchangeWorkerPool:
             raise ValueError(f"density shape {D.shape} does not match "
                              f"the pool's basis ({self._D.shape})")
         self._D[:] = D
-        with tr.span("pool.dispatch", cat="pool", njobs=len(jobs),
-                     nworkers=self.nworkers, kernel=kernel):
-            assign = _lpt_assign([job.cost for job in jobs], self.nworkers)
-            pending = []
-            for w, idxs in enumerate(assign):
-                if not idxs:
-                    continue
-                payload = [(jobs[t].rank, jobs[t].pairs) for t in idxs]
-                self._conns[w].send(("exec", payload, want_j, want_k,
-                                     kernel))
-                pending.append(w)
         results: dict[int, tuple[np.ndarray | None, np.ndarray | None]] = {}
         nq_total = 0
-        deadline = time.monotonic() + self.timeout
-        with tr.span("pool.wait", cat="pool", nworkers=len(pending)):
-            for w in pending:
-                status, payload, nq, timings = self._recv(w, deadline)
-                if status != "ok":
-                    self.close(force=True)
-                    raise RuntimeError(f"pool worker {w} failed:\n{payload}")
-                nq_total += nq
-                for rank, J, K in payload:
-                    results[rank] = (J, K)
-                if tr.enabled and timings:
-                    for rank, t0, t1, nq_rank in timings:
-                        tr.add_span("worker.quartet_batch", t0, t1,
-                                    cat="quartets", tid=f"worker-{w}",
-                                    rank=rank, nq=nq_rank)
+        outstanding = list(range(len(jobs)))
+        rounds = 0
+        while outstanding:
+            pending, lost, err = self._dispatch(outstanding, jobs, want_j,
+                                                want_k, kernel, tr)
+            lost_c, err_c, nq = self._collect(pending, jobs, results, tr)
+            nq_total += nq
+            lost = sorted(lost + lost_c)
+            err = err_c or err
+            if not lost:
+                break
+            rounds += 1
+            if rounds > self.max_retries:
+                self.close(force=True)
+                raise err
+            with tr.span("pool.recover", cat="pool", round=rounds,
+                         njobs=len(lost)) as ctx:
+                ctx.add(respawned=self._respawn_dead(rounds))
+            if not self._live():
+                self.close(force=True)
+                raise err
+            self.retried_jobs += len(lost)
+            outstanding = lost
         self.quartets_computed += nq_total
         self.nbuilds += 1
         if tr.enabled:
             tr.metrics.count("pool.builds", 1)
             tr.metrics.count("pool.quartets", nq_total)
+            # gauge semantics (like the absorb_* helpers): the pool's
+            # cumulative fault counters, re-published every build
+            tr.metrics.set("pool.worker_deaths", self.worker_deaths)
+            tr.metrics.set("pool.respawns", self.respawns)
+            tr.metrics.set("pool.retried_jobs", self.retried_jobs)
         return results, nq_total

@@ -24,6 +24,8 @@ Two accumulation granularities, mirroring the two ERI kernels:
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..basis.basisset import BasisSet
@@ -264,22 +266,23 @@ class DirectJKBuilder:
     owned pool can be shared (e.g. across the SCFs of an MD
     trajectory); otherwise the builder spawns and owns one.
 
-    The legacy ``executor=``/``nworkers=`` kwargs still work behind a
-    deprecation shim.
+    Fault tolerance: the pool heals worker deaths itself (respawn +
+    re-run the lost rank jobs, bit-identically); if it cannot, the
+    builder warns once, records ``pool.degraded_builds``, and finishes
+    this and all later builds on the serial executor instead of
+    aborting the SCF.
     """
 
     def __init__(self, basis: BasisSet, eps: float = 1e-10,
-                 executor: str | None = None, nworkers: int | None = None,
                  pool=None, config=None):
         from ..runtime.execconfig import resolve_execution
 
-        self.config = resolve_execution(config, executor=executor,
-                                        nworkers=nworkers,
-                                        owner="DirectJKBuilder")
+        self.config = resolve_execution(config, owner="DirectJKBuilder")
         self.basis = basis
         self.eps = eps
         self.executor = self.config.executor
         self.kernel = self.config.kernel
+        self.degraded = False
         self.engine = ERIEngine(basis)
         self.Q = self.engine.schwarz_bounds()
         self._keys = sorted(self.engine.pairs)
@@ -296,7 +299,8 @@ class DirectJKBuilder:
                 pool.reset(basis)
             self._pool = pool or ExchangeWorkerPool(
                 basis, nworkers=self.config.nworkers,
-                timeout=self.config.pool_timeout)
+                timeout=self.config.pool_timeout,
+                max_retries=self.config.pool_max_retries)
             self._owns_pool = pool is None
 
     def close(self) -> None:
@@ -311,14 +315,38 @@ class DirectJKBuilder:
             for ketkey in keys[a:]:
                 yield brakey, ketkey
 
+    def _degrade(self, reason, tr) -> None:
+        """Give up on the pool for the rest of this builder's life."""
+        warnings.warn(
+            f"DirectJKBuilder: worker pool is unrecoverable ({reason}); "
+            "falling back to the serial executor for this and later "
+            "builds", RuntimeWarning, stacklevel=4)
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            if self._owns_pool:
+                pool.close(force=True)
+        self.executor = "serial"
+        self.degraded = True
+        if tr.enabled:
+            tr.metrics.count("pool.degraded_builds", 1)
+
     def build(self, D: np.ndarray, want_j: bool = True, want_k: bool = True
               ) -> tuple[np.ndarray | None, np.ndarray | None]:
         """Build J and/or K for density ``D`` (AO basis, symmetric)."""
+        from ..runtime.pool import WorkerDeathError
+
         tr = self.config.trace
         with tr.span("jk.build", cat="scf", executor=self.executor,
                      kernel=self.kernel):
             if self.executor == "process":
-                return self._build_process(D, want_j, want_k)
+                if self._pool is None or self._pool.closed:
+                    # a shared pool died under another builder
+                    self._degrade("pool already closed", tr)
+                else:
+                    try:
+                        return self._build_process(D, want_j, want_k)
+                    except WorkerDeathError as e:
+                        self._degrade(e, tr)
             nbf = self.basis.nbf
             J = np.zeros((nbf, nbf)) if want_j else None
             K = np.zeros((nbf, nbf)) if want_k else None

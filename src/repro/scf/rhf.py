@@ -109,8 +109,7 @@ class RHF:
         direct J/K builds run (``executor="process"`` requires
         ``mode="direct"``; the pool outlives single builds — it is
         spawned once and reused by every SCF iteration) and carrying
-        the telemetry sinks.  The legacy ``executor=``/``nworkers=``
-        kwargs still work behind a deprecation shim.
+        the telemetry sinks.
     jk_pool:
         Externally owned :class:`repro.runtime.pool.ExchangeWorkerPool`
         to reuse (e.g. across the SCFs of an MD trajectory); when given,
@@ -122,7 +121,6 @@ class RHF:
                  conv_tol: float = 1e-8, max_iter: int = 100,
                  diis_size: int = 8, level_shift: float = 0.0,
                  damping: float = 0.0, smearing: float = 0.0,
-                 executor: str | None = None, nworkers: int | None = None,
                  jk_pool=None, config=None):
         from ..runtime.execconfig import resolve_execution
 
@@ -131,9 +129,7 @@ class RHF:
                              f"{mol.name or 'molecule'} has {mol.nelectron}")
         if mode not in ("incore", "direct"):
             raise ValueError(f"mode must be 'incore' or 'direct', got {mode!r}")
-        self.config = resolve_execution(config, executor=executor,
-                                        nworkers=nworkers,
-                                        owner=type(self).__name__)
+        self.config = resolve_execution(config, owner=type(self).__name__)
         if self.config.executor == "process" and mode != "direct":
             raise ValueError("executor='process' requires mode='direct' "
                              "(the in-core tensor path has no quartet loop "

@@ -3,7 +3,8 @@
 These are the correctness contracts of the first backend that runs the
 paper's rank loop on more than one OS thread:
 
-* ``distributed_exchange(executor="process")`` is bit-identical (within
+* ``distributed_exchange(config=ExecutionConfig(executor="process"))``
+  is bit-identical (within
   reduction roundoff) to the serial path for 1, 2, and 4 workers;
 * the quartet counter of the engine equals the task list's
   surviving-quartet count under both executors;
@@ -17,6 +18,7 @@ from repro.basis import build_basis
 from repro.chem import builders
 from repro.hfx import IncrementalExchange, distributed_exchange
 from repro.integrals.eri import ERIEngine
+from repro.runtime import ExecutionConfig
 from repro.runtime.pool import ExchangeWorkerPool
 from repro.scf import RHF, DirectJKBuilder, run_rhf
 
@@ -38,7 +40,8 @@ def test_process_executor_bit_identical(dimer_state, nworkers):
     basis, D = dimer_state
     K_s, _, _, _ = distributed_exchange(basis, D, nranks=4, eps=1e-11)
     K_p, log, tasks, part = distributed_exchange(
-        basis, D, nranks=4, eps=1e-11, executor="process", nworkers=nworkers)
+        basis, D, nranks=4, eps=1e-11,
+        config=ExecutionConfig(executor="process", nworkers=nworkers))
     assert np.abs(K_p - K_s).max() < 1e-12
     assert log.allreduce_calls == 1
     assert part.nranks == 4
@@ -51,10 +54,10 @@ def test_quartet_counter_matches_tasklist(dimer_state, executor):
     tallied separately)."""
     basis, D = dimer_state
     engine = ERIEngine(basis)
-    kw = {"nworkers": 2} if executor == "process" else {}
+    nworkers = 2 if executor == "process" else None
+    cfg = ExecutionConfig(executor=executor, nworkers=nworkers)
     _, _, tasks, _ = distributed_exchange(basis, D, nranks=3, eps=1e-9,
-                                          executor=executor, engine=engine,
-                                          **kw)
+                                          engine=engine, config=cfg)
     assert engine.quartets_computed == tasks.total_quartets
     # Schwarz bounds are cached per basis object: exactly one engine per
     # basis pays for the diagonal quartets, every later engine reads the
@@ -67,10 +70,11 @@ def test_quartet_counter_matches_tasklist(dimer_state, executor):
 def test_shared_pool_reused_across_builds(dimer_state):
     basis, D = dimer_state
     with ExchangeWorkerPool(basis, nworkers=2) as pool:
+        cfg = ExecutionConfig(executor="process")
         K1, _, _, _ = distributed_exchange(basis, D, nranks=2, eps=1e-10,
-                                           executor="process", pool=pool)
+                                           config=cfg, pool=pool)
         K2, _, _, _ = distributed_exchange(basis, D, nranks=5, eps=1e-10,
-                                           executor="process", pool=pool)
+                                           config=cfg, pool=pool)
         assert pool.nbuilds == 2
     assert np.abs(K1 - K2).max() < 1e-12
 
@@ -79,8 +83,9 @@ def test_direct_builder_executor_parity(dimer_state):
     basis, D = dimer_state
     serial = DirectJKBuilder(basis, eps=1e-11)
     J_s, K_s = serial.build(D)
-    pooled = DirectJKBuilder(basis, eps=1e-11, executor="process",
-                             nworkers=2)
+    pooled = DirectJKBuilder(
+        basis, eps=1e-11,
+        config=ExecutionConfig(executor="process", nworkers=2))
     try:
         J_p, K_p = pooled.build(D)
     finally:
@@ -94,7 +99,8 @@ def test_direct_builder_executor_parity(dimer_state):
 def test_rhf_process_executor_energy():
     mol = builders.water()
     ref = run_rhf(mol)
-    res = run_rhf(mol, mode="direct", executor="process", nworkers=2)
+    res = run_rhf(mol, mode="direct",
+                  config=ExecutionConfig(executor="process", nworkers=2))
     assert res.converged
     assert abs(res.energy - ref.energy) < 1e-8
 
@@ -105,8 +111,9 @@ def test_incremental_process_executor_parity():
     A = rng.standard_normal((basis.nbf, basis.nbf))
     densities = [A + A.T, (A + A.T) * 1.01, (A + A.T) * 1.0101]
     inc_s = IncrementalExchange(basis, eps=1e-10)
-    inc_p = IncrementalExchange(basis, eps=1e-10, executor="process",
-                                nworkers=2)
+    inc_p = IncrementalExchange(
+        basis, eps=1e-10,
+        config=ExecutionConfig(executor="process", nworkers=2))
     try:
         for D in densities:
             K_s = inc_s.update(D)
@@ -125,7 +132,8 @@ def test_bomd_process_executor_matches_serial():
     from repro.md.bomd import BOMD
 
     serial = BOMD(builders.h2(), dt_fs=0.2).run(2)
-    md = BOMD(builders.h2(), dt_fs=0.2, executor="process", nworkers=2)
+    md = BOMD(builders.h2(), dt_fs=0.2,
+              config=ExecutionConfig(executor="process", nworkers=2))
     try:
         pooled = md.run(2)
     finally:
@@ -137,11 +145,14 @@ def test_bomd_process_executor_matches_serial():
 
 def test_invalid_executor_rejected(dimer_state):
     basis, D = dimer_state
+    # executor validation lives in ExecutionConfig since the legacy
+    # kwargs were removed
     with pytest.raises(ValueError, match="executor"):
-        distributed_exchange(basis, D, 2, executor="threads")
-    with pytest.raises(ValueError, match="executor"):
-        DirectJKBuilder(basis, executor="gpu")
-    with pytest.raises(ValueError, match="executor"):
-        IncrementalExchange(basis, executor="gpu")
+        ExecutionConfig(executor="threads")
+    with pytest.raises(TypeError, match="ExecutionConfig"):
+        distributed_exchange(basis, D, 2, config="process")
+    with pytest.raises(TypeError, match="ExecutionConfig"):
+        DirectJKBuilder(basis, config="gpu")
     with pytest.raises(ValueError, match="direct"):
-        RHF(builders.water(), mode="incore", executor="process")
+        RHF(builders.water(), mode="incore",
+            config=ExecutionConfig(executor="process"))

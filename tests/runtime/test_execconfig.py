@@ -1,4 +1,4 @@
-"""Tests for the unified ExecutionConfig API and its deprecation shim."""
+"""Tests for the unified ExecutionConfig API (post-legacy-shim)."""
 
 import pytest
 
@@ -71,42 +71,42 @@ def test_resolve_default_is_shared_singleton():
     assert resolve_execution(cfg) is cfg
 
 
-def test_resolve_legacy_kwargs_warn():
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        cfg = resolve_execution(None, executor="process", nworkers=3,
-                                owner="TestAPI")
-    assert cfg.executor == "process" and cfg.nworkers == 3
+@pytest.mark.parametrize("bad", [-1, 1.5, True, "two"])
+def test_invalid_pool_max_retries(bad):
+    with pytest.raises(ValueError, match="pool_max_retries"):
+        ExecutionConfig(pool_max_retries=bad)
 
 
-def test_resolve_rejects_config_plus_legacy():
-    with pytest.raises(ValueError, match="not both"):
-        resolve_execution(ExecutionConfig(), executor="process")
+def test_pool_max_retries_accepts_zero():
+    assert ExecutionConfig(pool_max_retries=0).pool_max_retries == 0
+    assert ExecutionConfig(pool_max_retries=3).pool_max_retries == 3
 
 
-def test_rhf_legacy_kwargs_warn():
-    """The public SCF entry points keep accepting the old kwargs."""
+def test_resolve_rejects_non_config():
+    """The legacy kwargs are gone; a stray positional/mistyped value
+    fails loudly with the owner's name."""
+    with pytest.raises(TypeError, match="TestAPI.*ExecutionConfig"):
+        resolve_execution("process", owner="TestAPI")
+
+
+def test_legacy_kwargs_removed():
+    """The PR 2 deprecation window is over: the old per-call kwargs no
+    longer exist on any entry point."""
     from repro.chem import builders
     from repro.scf.rhf import RHF
 
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        scf = RHF(builders.h2(), mode="direct", executor="serial")
-    assert scf.config.executor == "serial"
+    with pytest.raises(TypeError, match="executor"):
+        RHF(builders.h2(), mode="direct", executor="serial")
 
 
-def test_hfx_scheme_legacy_fields_warn():
+def test_hfx_scheme_legacy_fields_removed():
     from repro.hfx import HFXScheme, water_box_workload
     from repro.machine import bgq_racks
 
     wl = water_box_workload(2)
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        sch = HFXScheme(wl, bgq_racks(0.25), nworkers=2)
-    assert sch.config.nworkers == 2
-
-
-def test_hfx_scheme_rejects_config_plus_legacy():
-    from repro.hfx import HFXScheme, water_box_workload
-    from repro.machine import bgq_racks
-
-    with pytest.raises(ValueError, match="not both"):
-        HFXScheme(water_box_workload(2), bgq_racks(0.25),
-                  executor="process", config=ExecutionConfig())
+    with pytest.raises(TypeError):
+        HFXScheme(wl, bgq_racks(0.25), nworkers=2)
+    # the config route still mirrors the knobs onto readable attrs
+    sch = HFXScheme(wl, bgq_racks(0.25),
+                    config=ExecutionConfig(executor="process", nworkers=2))
+    assert sch.executor == "process" and sch.nworkers == 2
