@@ -97,4 +97,11 @@ def profile_table(snapshot, title: str = "profile",
         crow = [(k, format_si(float(v)) if isinstance(v, (int, float))
                  else str(v)) for k, v in sorted(counters.items())]
         out += "\n" + format_table(crow, ("counter", "value"))
+    if "checkpoint.restored_step" in counters:
+        age = counters.get("checkpoint.snapshot_age_s")
+        note = ("restored from checkpoint: step "
+                f"{int(counters['checkpoint.restored_step'])}")
+        if isinstance(age, (int, float)):
+            note += f" (snapshot age {format_seconds(float(age))})"
+        out += "\n" + note
     return out

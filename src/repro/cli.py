@@ -5,6 +5,8 @@ Commands
 info        package, machine, and workload overview
 scf         run an SCF (HF / LDA / PBE / PBE0 / UHF) on a built-in or
             XYZ geometry
+md          Born-Oppenheimer MD with crash-safe checkpoint/restart
+            (``--checkpoint DIR`` / ``--restore [DIR]``)
 workload    generate a condensed-phase HFX workload and print its stats
 scale       strong-scaling sweep of the scheme (and optionally the
             legacy baseline) on BG/Q partitions
@@ -154,6 +156,121 @@ def _cmd_scf(args) -> int:
     return 0
 
 
+def _cmd_md(args) -> int:
+    import json
+
+    from repro.md import temperature as kinetic_temperature
+    from repro.md.observables import energy_drift
+    from repro.runtime import (CheckpointError, ExecutionConfig, Tracer,
+                               resolve_checkpoint_every,
+                               resolve_pool_max_retries,
+                               resolve_pool_timeout)
+
+    # validate every env/flag knob at the boundary, before anything runs
+    try:
+        pool_timeout = resolve_pool_timeout()
+        pool_max_retries = resolve_pool_max_retries()
+        checkpoint_every = resolve_checkpoint_every(args.checkpoint_every)
+    except ValueError as e:
+        raise SystemExit(f"error: {e}") from None
+    if args.restore is None and args.method != "hf" \
+            and args.executor == "process":
+        raise SystemExit("--executor process is wired through the direct "
+                         "RHF builder; use --method hf")
+    quiet = args.json
+    say = (lambda *a, **k: None) if quiet else print
+    tracer = Tracer(name="md") if (args.trace or args.profile) else None
+    config = ExecutionConfig(executor=args.executor, nworkers=args.nworkers,
+                             pool_timeout=pool_timeout,
+                             pool_max_retries=pool_max_retries,
+                             kernel=args.kernel, tracer=tracer,
+                             profile=args.profile,
+                             checkpoint_dir=args.checkpoint,
+                             checkpoint_every=checkpoint_every,
+                             checkpoint_keep=args.checkpoint_keep)
+    from repro.md import BOMD
+
+    restored_from = None
+    if args.restore is not None:
+        restore_dir = args.restore if isinstance(args.restore, str) \
+            else args.checkpoint
+        if restore_dir is None:
+            raise SystemExit("error: --restore needs a directory (give "
+                             "one, or combine with --checkpoint DIR)")
+        try:
+            b = BOMD.restore(restore_dir, config=config)
+        except CheckpointError as e:
+            raise SystemExit(f"error: {e}") from None
+        restored_from = b.state.step
+        say(f"restored {b.mol.name or 'molecule'} trajectory from "
+            f"'{restore_dir}' at step {restored_from}")
+    else:
+        mol = _load_molecule(args)
+        thermostat = None
+        if args.thermostat != "none":
+            from repro.constants import fs_to_aut
+            from repro.md import BerendsenThermostat, CSVRThermostat
+
+            if args.temperature is None:
+                raise SystemExit("error: a thermostat needs --temperature")
+            tau = fs_to_aut(args.tau)
+            cls = {"csvr": CSVRThermostat,
+                   "berendsen": BerendsenThermostat}[args.thermostat]
+            kw = {"seed": args.seed} if args.thermostat == "csvr" else {}
+            thermostat = cls(T=args.temperature, tau=tau, **kw)
+        say(f"{mol.name or 'molecule'}: {mol.natom} atoms, "
+            f"{args.method.upper()}/{args.basis}, dt = {args.dt} fs, "
+            f"{args.steps} steps"
+            + (f", {args.thermostat} thermostat at {args.temperature} K"
+               if thermostat is not None else ""))
+        b = BOMD(mol, method=args.method, basis=args.basis, dt_fs=args.dt,
+                 temperature=args.temperature, seed=args.seed,
+                 thermostat=thermostat, config=config)
+        if args.checkpoint:
+            say(f"checkpointing to '{args.checkpoint}' every "
+                f"{checkpoint_every} steps")
+    try:
+        traj = b.run(args.steps)
+    finally:
+        if hasattr(b.engine, "close"):
+            b.engine.close()
+    masses = b.mol.masses
+    drift = energy_drift(traj, masses)
+    t_final = kinetic_temperature(masses, traj[-1].velocities)
+    say(f"steps {traj[0].step}..{traj[-1].step}  "
+        f"E_pot(final) = {traj[-1].energy_pot:.8f} Ha  "
+        f"T(final) = {t_final:.1f} K  drift = {drift:.3e}")
+    if tracer is not None:
+        ndegraded = tracer.snapshot().counters.get("pool.degraded_builds", 0)
+        if ndegraded:
+            say(f"note: {ndegraded} build(s) degraded to the serial "
+                "executor after unrecoverable worker-pool failures "
+                "(see pool.* counters)")
+    if tracer is not None and args.trace:
+        nspans = tracer.write_chrome_trace(args.trace)
+        print(f"trace: {nspans} spans -> {args.trace}",
+              file=sys.stderr if quiet else sys.stdout)
+    if tracer is not None and args.profile and not quiet:
+        from repro.analysis.report import profile_table
+
+        print(profile_table(tracer.snapshot(),
+                            title=f"profile: BOMD {b.method}/{b.basis}"))
+    if quiet:
+        out = {
+            "molecule": {"name": b.mol.name, "natom": b.mol.natom},
+            "method": b.method, "basis": b.basis,
+            "md": {"steps": int(traj[-1].step), "dt_fs": b.dt_fs,
+                   "energy_pot_final": float(traj[-1].energy_pot),
+                   "temperature_final": float(t_final),
+                   "drift": float(drift),
+                   "restored_from": restored_from},
+        }
+        if tracer is not None:
+            out["telemetry"] = tracer.snapshot().summary()
+        print(json.dumps(out, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_workload(args) -> int:
     from repro.analysis.report import format_si
     from repro.hfx import electrolyte_workload, water_box_workload
@@ -289,6 +406,61 @@ def build_parser() -> argparse.ArgumentParser:
                     help="emit the result (and telemetry summary, when "
                          "traced) as JSON on stdout")
     ps.set_defaults(func=_cmd_scf)
+
+    pm = sub.add_parser("md", help="Born-Oppenheimer MD with "
+                                   "checkpoint/restart")
+    pm.add_argument("molecule", nargs="?", default="h2",
+                    help="built-in builder name (default: h2); ignored "
+                         "with --restore")
+    pm.add_argument("--xyz", help="XYZ file instead of a built-in")
+    pm.add_argument("--charge", type=int, default=0)
+    pm.add_argument("--multiplicity", type=int, default=1)
+    pm.add_argument("--method", default="hf",
+                    choices=["hf", "lda", "pbe", "pbe0"])
+    pm.add_argument("--basis", default="sto-3g")
+    pm.add_argument("--steps", type=_positive_int, default=10,
+                    help="integrate until logical step N (a restored "
+                         "run takes only the remaining steps)")
+    pm.add_argument("--dt", type=float, default=0.5,
+                    help="timestep in fs (default 0.5)")
+    pm.add_argument("--temperature", type=float, default=None,
+                    help="initial Maxwell-Boltzmann temperature (K)")
+    pm.add_argument("--thermostat", default="none",
+                    choices=["none", "csvr", "berendsen"],
+                    help="NVT thermostat (csvr continues its random "
+                         "stream across restarts)")
+    pm.add_argument("--tau", type=float, default=50.0,
+                    help="thermostat time constant in fs (default 50)")
+    pm.add_argument("--seed", type=int, default=0,
+                    help="velocity/thermostat RNG seed")
+    pm.add_argument("--executor", default="serial",
+                    choices=["serial", "process"],
+                    help="where the force SCFs' J/K builds run")
+    pm.add_argument("--nworkers", type=_positive_int, default=None,
+                    help="worker count for --executor process")
+    pm.add_argument("--kernel", default="quartet",
+                    choices=["quartet", "batched"])
+    pm.add_argument("--checkpoint", metavar="DIR",
+                    help="snapshot the trajectory into DIR (atomic, "
+                         "checksummed, ring-pruned)")
+    pm.add_argument("--checkpoint-every", type=_positive_int, default=None,
+                    metavar="N",
+                    help="snapshot cadence in MD steps (default: "
+                         "REPRO_CHECKPOINT_EVERY or 10)")
+    pm.add_argument("--checkpoint-keep", type=_positive_int, default=None,
+                    metavar="K", help="ring size: snapshots kept on disk "
+                                      "(default 3)")
+    pm.add_argument("--restore", nargs="?", const=True, metavar="DIR",
+                    help="resume from the newest uncorrupted snapshot in "
+                         "DIR (default: the --checkpoint directory)")
+    pm.add_argument("--trace", metavar="FILE",
+                    help="write a Chrome-trace JSON of the run")
+    pm.add_argument("--profile", action="store_true",
+                    help="print a per-span profile table (includes the "
+                         "restore provenance when resumed)")
+    pm.add_argument("--json", action="store_true",
+                    help="emit the result as JSON on stdout")
+    pm.set_defaults(func=_cmd_md)
 
     pw = sub.add_parser("workload", help="generate an HFX workload")
     pw.add_argument("system", nargs="?", default="water",

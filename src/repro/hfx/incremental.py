@@ -78,6 +78,76 @@ class IncrementalExchange:
             self._pool.close()
             self._pool = None
 
+    def reset(self, basis: BasisSet | None = None) -> None:
+        """Drop the increment history (checkpoint restore, geometry jump).
+
+        The density-difference screen is only valid while ``D_ref`` and
+        the accumulated ``K`` describe the *same* Hamiltonian; a
+        restored run or a moved geometry must explicitly start a fresh
+        history instead of relying on object reconstruction.  With
+        ``basis`` given, the builder also rebinds to the new basis
+        (fresh engine and Schwarz bounds, pool re-targeted); cumulative
+        quartet totals survive so :attr:`savings` still describes the
+        whole logical run.
+        """
+        if basis is not None and basis is not self.basis:
+            self.basis = basis
+            self.engine = ERIEngine(basis)
+            self.Q = self.engine.schwarz_bounds()
+            self._keys = sorted(self.Q)
+            if self._pool is not None:
+                self._pool.reset(basis)
+        nbf = self.basis.nbf
+        self.K = np.zeros((nbf, nbf))
+        self.D_ref = np.zeros((nbf, nbf))
+        self.builds = 0
+        self.last_quartets = 0
+
+    # --- Restartable protocol -------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Reference density, accumulated K, and screening history.
+
+        The worker pool is never part of the state — a restore runs on
+        a freshly spawned pool (or serially) against the same numbers.
+        """
+        return {
+            "kind": "kinc",
+            "nbf": int(self.basis.nbf),
+            "eps": float(self.eps),
+            "rebuild_every": int(self.rebuild_every),
+            "K": self.K.copy(),
+            "D_ref": self.D_ref.copy(),
+            "builds": int(self.builds),
+            "last_quartets": int(self.last_quartets),
+            "total_quartets_incremental": int(
+                self.total_quartets_incremental),
+            "total_quartets_full": int(self.total_quartets_full),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Continue a snapshotted history bit-identically."""
+        from ..runtime.checkpoint import CheckpointError
+
+        if state.get("kind") != "kinc":
+            raise CheckpointError(
+                f"IncrementalExchange: snapshot holds {state.get('kind')!r} "
+                f"state, not 'kinc'")
+        if int(state["nbf"]) != self.basis.nbf:
+            raise CheckpointError(
+                f"IncrementalExchange: snapshot was taken on a "
+                f"{state['nbf']}-function basis; this builder has "
+                f"{self.basis.nbf}")
+        self.eps = float(state["eps"])
+        self.rebuild_every = int(state["rebuild_every"])
+        self.K = np.array(state["K"], dtype=np.float64, copy=True)
+        self.D_ref = np.array(state["D_ref"], dtype=np.float64, copy=True)
+        self.builds = int(state["builds"])
+        self.last_quartets = int(state["last_quartets"])
+        self.total_quartets_incremental = int(
+            state["total_quartets_incremental"])
+        self.total_quartets_full = int(state["total_quartets_full"])
+
     def _block_max(self, M: np.ndarray) -> np.ndarray:
         """max|M| per shell block, shape (nshell, nshell)."""
         n = self.basis.nshell

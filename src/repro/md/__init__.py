@@ -3,7 +3,8 @@ on SCF forces, a classical force field for large boxes, observables."""
 
 from .integrator import (ForceEngine, MDState, VelocityVerlet,
                          initialize_velocities, kinetic_energy, temperature)
-from .thermostat import BerendsenThermostat, CSVRThermostat, VelocityRescale
+from .thermostat import (BerendsenThermostat, CSVRThermostat,
+                         VelocityRescale, restore_thermostat)
 from .forcefield import ForceField, LJParams, detect_bonds, detect_angles
 from .bomd import BOMD, SCFForceEngine
 from .observables import energy_drift, temperature_series, rdf, msd
@@ -13,6 +14,7 @@ __all__ = [
     "ForceEngine", "MDState", "VelocityVerlet",
     "initialize_velocities", "kinetic_energy", "temperature",
     "BerendsenThermostat", "CSVRThermostat", "VelocityRescale",
+    "restore_thermostat",
     "ForceField", "LJParams", "detect_bonds", "detect_angles",
     "BOMD", "SCFForceEngine",
     "energy_drift", "temperature_series", "rdf", "msd",

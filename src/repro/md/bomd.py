@@ -13,6 +13,17 @@ Two paper-specific behaviors are reproduced:
   (halves the iteration count — the MD tailoring the title refers to);
 * per-step SCF iteration and screened-quartet statistics are recorded,
   feeding the incremental-build experiment (F8).
+
+Checkpoint/restart (the job-level counterpart to the pool's
+worker-level fault tolerance): :class:`BOMD` and
+:class:`SCFForceEngine` implement the
+:class:`repro.runtime.Restartable` protocol, and a trajectory run with
+``ExecutionConfig(checkpoint_dir=...)`` auto-snapshots every
+``checkpoint_every`` steps (plus once whenever the worker pool degrades
+to serial).  :meth:`BOMD.restore` revives the newest uncorrupted
+snapshot and continues **bit-identically** — warm-start density,
+thermostat random stream, and step counter included — on a freshly
+spawned pool (live pool state is never serialized).
 """
 
 from __future__ import annotations
@@ -23,11 +34,27 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..chem.molecule import Molecule
+from ..runtime.checkpoint import CheckpointError, SnapshotInfo
 from ..runtime.execconfig import ExecutionConfig
 from ..scf.dft import RKS
 from ..scf.rhf import RHF, SCFResult
+from .integrator import MDState
 
 __all__ = ["SCFForceEngine", "BOMD"]
+
+
+@dataclass
+class _WarmStart:
+    """Restored stand-in for the previous step's converged SCF result.
+
+    Only the density matters for warm-starting the next SCF; the full
+    :class:`SCFResult` (Fock/MO matrices, basis handle) is rebuilt by
+    the first post-restore force evaluation.
+    """
+
+    D: np.ndarray
+    energy: float = 0.0
+    niter: int = 0
 
 
 @dataclass
@@ -44,6 +71,12 @@ class SCFForceEngine:
         Central-difference displacement in Bohr.
     reuse_density:
         Seed each SCF with the previous converged density.
+    incremental:
+        HF + serial executor only: route the exchange builds of every
+        SCF through one trajectory-persistent
+        :class:`repro.hfx.IncrementalExchange`, explicitly ``reset()``
+        at each geometry jump so the density-difference screen spans
+        the SCF iterations of one geometry but never a stale one.
     config:
         :class:`repro.runtime.ExecutionConfig`: with
         ``executor="process"`` (HF only), a single persistent worker
@@ -62,11 +95,13 @@ class SCFForceEngine:
     fd_step: float = 1e-3
     reuse_density: bool = True
     conv_tol: float = 1e-8
+    incremental: bool = False
     config: ExecutionConfig | None = None
     scf_kwargs: dict = field(default_factory=dict)
     last_result: SCFResult | None = None
     scf_iterations: list[int] = field(default_factory=list)
     _pool: object = field(default=None, repr=False)
+    _kinc: object = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         from ..runtime.execconfig import resolve_execution
@@ -78,6 +113,14 @@ class SCFForceEngine:
         if self.executor == "process" and self.method.lower() != "hf":
             raise ValueError("executor='process' is wired through the "
                              "direct RHF builder; use method='hf'")
+        if self.incremental:
+            if self.method.lower() != "hf":
+                raise ValueError("incremental exchange is wired through "
+                                 "the RHF k_builder hook; use method='hf'")
+            if self.executor != "serial":
+                raise ValueError("incremental exchange runs on the serial "
+                                 "executor (its own pool support is not "
+                                 "shared with the direct J builder)")
 
     def close(self) -> None:
         """Stop the trajectory's worker pool, if one was spawned."""
@@ -123,6 +166,22 @@ class SCFForceEngine:
                 kwargs.update(jk_pool=self._pool)
                 return RHF(basis.molecule, basis, conv_tol=self.conv_tol,
                            **kwargs)
+            if self.incremental:
+                from ..basis.basisset import build_basis
+                from ..hfx.incremental import IncrementalExchange
+
+                basis = build_basis(mol, self.basis)
+                if self._kinc is None:
+                    self._kinc = IncrementalExchange(basis,
+                                                     config=self.config)
+                else:
+                    # geometry jump: the increment history refers to the
+                    # previous Hamiltonian — drop it explicitly
+                    self._kinc.reset(basis)
+                kwargs.setdefault("mode", "direct")
+                kwargs.update(k_builder=self._kinc)
+                return RHF(basis.molecule, basis, conv_tol=self.conv_tol,
+                           **kwargs)
             return RHF(mol, self.basis, conv_tol=self.conv_tol, **kwargs)
         kwargs.setdefault("config", self.config)
         return RKS(mol, self.basis, functional=self.method,
@@ -164,6 +223,59 @@ class SCFForceEngine:
             tr.metrics.count("md.scf_iterations", base.niter)
         return base.energy, F
 
+    # --- Restartable protocol -------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Warm-start density and per-step SCF statistics.
+
+        The worker pool is *never* serialized (live pipes and process
+        handles cannot be revived); a restored engine respawns a fresh
+        pool at its first SCF.  The incremental-exchange history is
+        likewise excluded: it is reset at every geometry jump anyway,
+        and the first post-restore solve starts a fresh one.
+        """
+        return {
+            "kind": "scf_engine",
+            "method": self.method,
+            "basis": self.basis,
+            "natom": self.mol.natom,
+            "fd_step": float(self.fd_step),
+            "last_D": (self.last_result.D.copy()
+                       if (self.last_result is not None and
+                           self.reuse_density) else None),
+            "scf_iterations": list(self.scf_iterations),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Continue a snapshotted engine bit-identically.
+
+        The restored density is the exact array the checkpointed run
+        would have used as its next warm start, so the first
+        post-restore SCF walks the same iterates as an uninterrupted
+        run.
+        """
+        if state.get("kind") != "scf_engine":
+            raise CheckpointError(
+                f"SCFForceEngine: snapshot holds {state.get('kind')!r} "
+                f"state, not 'scf_engine'")
+        mismatches = []
+        for key, mine in (("method", self.method), ("basis", self.basis),
+                          ("natom", self.mol.natom)):
+            if state.get(key) != mine:
+                mismatches.append(
+                    f"{key}: snapshot {state.get(key)!r} != {mine!r}")
+        if mismatches:
+            raise CheckpointError(
+                "SCFForceEngine: snapshot does not match this engine — "
+                + "; ".join(mismatches))
+        last_D = state.get("last_D")
+        self.last_result = None if last_D is None else _WarmStart(
+            D=np.array(last_D, dtype=np.float64, copy=True))
+        self.scf_iterations = list(state.get("scf_iterations", ()))
+        if self._kinc is not None:
+            # any in-memory increment history predates the snapshot
+            self._kinc.reset()
+
 
 @dataclass
 class BOMD:
@@ -171,6 +283,16 @@ class BOMD:
 
     ``analytic_forces=True`` uses the analytic RHF gradient engine
     (one SCF per step instead of 6N+1; HF method, s/p bases only).
+
+    ``run(nsteps)`` is **resume-aware**: it integrates *until logical
+    step* ``nsteps``, continuing from wherever the trajectory currently
+    stands — step 0 on a fresh object, the restored step after
+    :meth:`restore`, or the last step of a previous ``run`` call on the
+    same object.  With ``ExecutionConfig(checkpoint_dir=...)`` the loop
+    snapshots the full :class:`repro.runtime.Restartable` state every
+    ``checkpoint_every`` steps (and once more when the worker pool
+    degrades to serial), through an atomic, checksummed, ring-pruned
+    :class:`repro.runtime.CheckpointStore`.
     """
 
     mol: Molecule
@@ -179,7 +301,9 @@ class BOMD:
     dt_fs: float = 0.5
     temperature: float | None = None
     seed: int = 0
+    thermostat: object | None = None
     analytic_forces: bool = False
+    incremental: bool = False
     config: ExecutionConfig | None = None
     engine: object = field(init=False)
 
@@ -201,17 +325,216 @@ class BOMD:
             self.engine = AnalyticSCFForceEngine(self.mol, self.basis)
         else:
             self.engine = SCFForceEngine(self.mol, self.method, self.basis,
+                                         incremental=self.incremental,
                                          config=self.config)
+        self.state: MDState | None = None
+        self.trajectory: list[MDState] = []
+        self._store = None
+        self._checkpoint_every = None
+        self._last_saved_step: int | None = None
+        self._degrade_snapshotted = False
+        if self.config.checkpoint_dir is not None:
+            from ..runtime.checkpoint import (DEFAULT_KEEP, CheckpointStore,
+                                              resolve_checkpoint_every)
 
-    def run(self, nsteps: int):
-        """Integrate ``nsteps`` of BOMD; returns the trajectory."""
+            self._store = CheckpointStore(
+                self.config.checkpoint_dir,
+                keep=self.config.checkpoint_keep or DEFAULT_KEEP)
+            self._checkpoint_every = resolve_checkpoint_every(
+                self.config.checkpoint_every)
+
+    def _integrator(self):
         from ..constants import fs_to_aut
-        from .integrator import VelocityVerlet, initialize_velocities
+        from .integrator import VelocityVerlet
 
-        masses = self.mol.masses
-        vv = VelocityVerlet(self.engine, masses, fs_to_aut(self.dt_fs))
-        v0 = None
-        if self.temperature:
-            v0 = initialize_velocities(masses, self.temperature, self.seed)
-        state = vv.initial_state(self.mol.coords, v0)
-        return vv.run(state, nsteps)
+        return VelocityVerlet(self.engine, self.mol.masses,
+                              fs_to_aut(self.dt_fs),
+                              thermostat=self.thermostat)
+
+    def run(self, nsteps: int) -> list[MDState]:
+        """Integrate until logical step ``nsteps``; returns the
+        trajectory (including the initial state).
+
+        On a fresh object this is the familiar "take ``nsteps`` steps";
+        on a restored (or already-run) object it takes only the
+        *remaining* steps, so a killed-and-restored run and an
+        uninterrupted one execute the identical step sequence.
+        """
+        from .integrator import initialize_velocities
+
+        vv = self._integrator()
+        tr = self.config.trace
+        if self.state is None:
+            v0 = None
+            if self.temperature:
+                v0 = initialize_velocities(self.mol.masses,
+                                           self.temperature, self.seed)
+            self.state = vv.initial_state(self.mol.coords, v0)
+            self.trajectory = [self.state]
+            if self._store is not None:
+                self.checkpoint()
+        while self.state.step < nsteps:
+            self.state = vv.step(self.state)
+            self.trajectory.append(self.state)
+            if tr.enabled:
+                tr.metrics.count("md.steps", 1)
+            if self._store is not None:
+                degraded = bool(getattr(self.engine, "degraded", False))
+                if self.state.step % self._checkpoint_every == 0:
+                    self.checkpoint()
+                elif degraded and not self._degrade_snapshotted:
+                    # the pool just died for good: secure the trajectory
+                    # before grinding through the serial remainder
+                    self.checkpoint()
+                if degraded:
+                    self._degrade_snapshotted = True
+        if self._store is not None and \
+                self._last_saved_step != self.state.step:
+            self.checkpoint()
+        return list(self.trajectory)
+
+    # --- checkpoint/restart ---------------------------------------------------
+
+    def checkpoint(self) -> SnapshotInfo:
+        """Write one snapshot of the current trajectory state now."""
+        if self._store is None:
+            raise CheckpointError(
+                "BOMD has no checkpoint store — construct it with "
+                "ExecutionConfig(checkpoint_dir=...)")
+        if self.state is None:
+            raise CheckpointError(
+                "BOMD.checkpoint: no trajectory state yet (run() first)")
+        tr = self.config.trace
+        step = int(self.state.step)
+        with tr.span("checkpoint.write", cat="checkpoint", step=step):
+            info = self._store.save(self.get_state(), step=step)
+        self._last_saved_step = step
+        if tr.enabled:
+            tr.metrics.count("checkpoint.writes", 1)
+            tr.metrics.set("checkpoint.last_step", step)
+        return info
+
+    def get_state(self) -> dict:
+        """Full Restartable state of the trajectory.
+
+        Step counter, positions/velocities/forces, the accumulated
+        trajectory observables, the force engine's warm-start state,
+        the thermostat (RNG stream included), and the telemetry
+        counters — but never the live worker pool.
+        """
+        if self.state is None:
+            raise CheckpointError(
+                "BOMD.get_state: no trajectory state yet (run() first)")
+        tr = self.config.trace
+        thermo = None
+        if self.thermostat is not None and \
+                hasattr(self.thermostat, "get_state"):
+            thermo = self.thermostat.get_state()
+        engine_state = (self.engine.get_state()
+                        if hasattr(self.engine, "get_state") else None)
+        return {
+            "kind": "bomd",
+            "mol": self.mol,
+            "params": {"method": self.method, "basis": self.basis,
+                       "dt_fs": float(self.dt_fs),
+                       "temperature": self.temperature,
+                       "seed": self.seed,
+                       "analytic_forces": self.analytic_forces,
+                       "incremental": self.incremental,
+                       "natom": self.mol.natom},
+            "step": int(self.state.step),
+            "trajectory": [s.to_dict() for s in self.trajectory],
+            "engine": engine_state,
+            "thermostat": thermo,
+            "counters": tr.metrics.get_state() if tr.enabled else {},
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Load a snapshot into this (matching) runner."""
+        if state.get("kind") != "bomd":
+            raise CheckpointError(
+                f"BOMD: snapshot holds {state.get('kind')!r} state, "
+                f"not 'bomd'")
+        p = state.get("params", {})
+        mismatches = []
+        for key, mine in (("method", self.method), ("basis", self.basis),
+                          ("dt_fs", float(self.dt_fs)),
+                          ("natom", self.mol.natom),
+                          ("analytic_forces", self.analytic_forces)):
+            if p.get(key) != mine:
+                mismatches.append(
+                    f"{key}: snapshot {p.get(key)!r} != {mine!r}")
+        if mismatches:
+            raise CheckpointError(
+                "BOMD: snapshot does not match this run — "
+                + "; ".join(mismatches))
+        traj = [MDState.from_dict(d) for d in state.get("trajectory", ())]
+        if not traj:
+            raise CheckpointError("BOMD: snapshot holds an empty "
+                                  "trajectory")
+        self.trajectory = traj
+        self.state = traj[-1]
+        if state.get("engine") is not None and \
+                hasattr(self.engine, "set_state"):
+            self.engine.set_state(state["engine"])
+        if state.get("thermostat") is not None:
+            if self.thermostat is None:
+                from .thermostat import restore_thermostat
+
+                self.thermostat = restore_thermostat(state["thermostat"])
+            else:
+                self.thermostat.set_state(state["thermostat"])
+        tr = self.config.trace
+        if tr.enabled and state.get("counters"):
+            # counters continue from their saved totals so --profile
+            # spans the whole logical run, not just the resumed piece
+            tr.metrics.set_state(state["counters"])
+
+    @classmethod
+    def restore(cls, checkpoint_dir=None, config: ExecutionConfig | None = None
+                ) -> "BOMD":
+        """Revive a trajectory from the newest uncorrupted snapshot.
+
+        The snapshot is self-describing (molecule, method, thermostat
+        kind, step counter all ride in it), so the only inputs are the
+        store location and — because execution resources are never
+        serialized — a fresh :class:`ExecutionConfig`: the restored
+        run spawns a fresh worker pool on its first SCF rather than
+        attempting to revive pickled pool state.  Corrupted snapshots
+        fall back through the ring with a warning; a missing directory
+        raises :class:`repro.runtime.CheckpointError`.
+        """
+        from ..runtime.checkpoint import DEFAULT_KEEP, CheckpointStore
+        from ..runtime.execconfig import resolve_execution
+
+        cfg = resolve_execution(config, owner="BOMD.restore")
+        directory = checkpoint_dir if checkpoint_dir is not None \
+            else cfg.checkpoint_dir
+        if directory is None:
+            raise CheckpointError(
+                "BOMD.restore: no checkpoint directory — pass "
+                "checkpoint_dir= or set ExecutionConfig.checkpoint_dir")
+        store = CheckpointStore(directory,
+                                keep=cfg.checkpoint_keep or DEFAULT_KEEP)
+        tr = cfg.trace
+        with tr.span("checkpoint.restore", cat="checkpoint"):
+            state, info = store.load_latest()
+        if state.get("kind") != "bomd":
+            raise CheckpointError(
+                f"BOMD.restore: snapshot holds {state.get('kind')!r} "
+                f"state, not 'bomd'")
+        p = state["params"]
+        if cfg.checkpoint_dir is None:
+            # keep checkpointing where we restored from
+            cfg = cfg.replace(checkpoint_dir=str(directory))
+        b = cls(mol=state["mol"], method=p["method"], basis=p["basis"],
+                dt_fs=p["dt_fs"], temperature=p["temperature"],
+                seed=p["seed"], analytic_forces=p["analytic_forces"],
+                incremental=p.get("incremental", False), config=cfg)
+        b.set_state(state)
+        b._last_saved_step = info.step
+        if tr.enabled:
+            tr.metrics.count("checkpoint.restores", 1)
+            tr.metrics.set("checkpoint.restored_step", float(info.step))
+            tr.metrics.set("checkpoint.snapshot_age_s", info.age_s)
+        return b

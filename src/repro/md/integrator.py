@@ -70,6 +70,25 @@ class MDState:
         """Conserved quantity (potential + kinetic)."""
         return self.energy_pot + kinetic_energy(masses, self.velocities)
 
+    def to_dict(self) -> dict:
+        """Picklable snapshot of the dynamical state (checkpointing).
+
+        Arrays are copied, so later integration steps can never mutate
+        a snapshot that is waiting to be written."""
+        return {"coords": self.coords.copy(),
+                "velocities": self.velocities.copy(),
+                "forces": self.forces.copy(),
+                "energy_pot": float(self.energy_pot),
+                "step": int(self.step)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MDState":
+        """Rebuild a state from :meth:`to_dict` (bit-preserving)."""
+        return cls(np.array(d["coords"], dtype=np.float64, copy=True),
+                   np.array(d["velocities"], dtype=np.float64, copy=True),
+                   np.array(d["forces"], dtype=np.float64, copy=True),
+                   float(d["energy_pot"]), int(d["step"]))
+
 
 @dataclass
 class VelocityVerlet:

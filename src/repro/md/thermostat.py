@@ -1,4 +1,11 @@
-"""Thermostats for NVT molecular dynamics."""
+"""Thermostats for NVT molecular dynamics.
+
+Every thermostat implements the :class:`repro.runtime.Restartable`
+protocol so a checkpointed trajectory resumes bit-identically — for the
+stochastic CSVR thermostat that means its RNG *bit-generator state*
+(not its seed) rides along in the snapshot: re-seeding would restart
+the random stream, restoring the state continues it.
+"""
 
 from __future__ import annotations
 
@@ -7,9 +14,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..constants import BOLTZMANN_HARTREE_PER_K
+from ..runtime.checkpoint import CheckpointError, RestartableRNG
 from .integrator import MDState, kinetic_energy
 
-__all__ = ["BerendsenThermostat", "CSVRThermostat", "VelocityRescale"]
+__all__ = ["BerendsenThermostat", "CSVRThermostat", "VelocityRescale",
+           "restore_thermostat"]
 
 
 @dataclass
@@ -30,6 +39,15 @@ class VelocityRescale:
         target = 0.5 * ndof * self.T * BOLTZMANN_HARTREE_PER_K
         state.velocities *= np.sqrt(target / ke)
 
+    def get_state(self) -> dict:
+        """Parameters only — this thermostat is stateless."""
+        return {"kind": "rescale", "T": self.T, "every": self.every}
+
+    def set_state(self, state: dict) -> None:
+        _check_kind(self, state, "rescale")
+        self.T = float(state["T"])
+        self.every = int(state["every"])
+
 
 @dataclass
 class BerendsenThermostat:
@@ -47,19 +65,34 @@ class BerendsenThermostat:
         lam2 = 1.0 + (dt / self.tau) * (self.T / max(t_now, 1e-12) - 1.0)
         state.velocities *= np.sqrt(max(lam2, 0.0))
 
+    def get_state(self) -> dict:
+        """Parameters only — this thermostat is stateless."""
+        return {"kind": "berendsen", "T": self.T, "tau": self.tau}
+
+    def set_state(self, state: dict) -> None:
+        _check_kind(self, state, "berendsen")
+        self.T = float(state["T"])
+        self.tau = float(state["tau"])
+
 
 @dataclass
 class CSVRThermostat:
     """Canonical sampling through velocity rescaling (Bussi 2007),
     simplified: stochastic kinetic-energy relaxation towards the
-    canonical distribution with time constant ``tau``."""
+    canonical distribution with time constant ``tau``.
+
+    The ``seed`` is consumed once into a :class:`RestartableRNG`; a
+    restored thermostat continues the *same* random stream, which is
+    what makes a killed-and-resumed NVT trajectory bit-identical to an
+    uninterrupted one.
+    """
 
     T: float
     tau: float
     seed: int = 0
 
     def __post_init__(self) -> None:
-        self._rng = np.random.default_rng(self.seed)
+        self._rng = RestartableRNG(self.seed)
 
     def __call__(self, state: MDState, masses: np.ndarray, dt: float) -> None:
         ndof = 3 * len(masses)
@@ -75,3 +108,46 @@ class CSVRThermostat:
                   * (self._rng.chisquare(ndof - 1) + r * r)
                   + 2.0 * r * np.sqrt(ke * ke_target / ndof * c * (1.0 - c)))
         state.velocities *= np.sqrt(max(ke_new, 1e-300) / ke)
+
+    def get_state(self) -> dict:
+        """Parameters plus the live RNG bit-generator state."""
+        return {"kind": "csvr", "T": self.T, "tau": self.tau,
+                "seed": self.seed, "rng": self._rng.get_state()}
+
+    def set_state(self, state: dict) -> None:
+        _check_kind(self, state, "csvr")
+        self.T = float(state["T"])
+        self.tau = float(state["tau"])
+        self.seed = state.get("seed", self.seed)
+        self._rng.set_state(state["rng"])
+
+
+_THERMOSTATS = {
+    "rescale": lambda st: VelocityRescale(T=st["T"], every=st["every"]),
+    "berendsen": lambda st: BerendsenThermostat(T=st["T"], tau=st["tau"]),
+    "csvr": lambda st: CSVRThermostat(T=st["T"], tau=st["tau"],
+                                      seed=st.get("seed", 0)),
+}
+
+
+def _check_kind(obj, state: dict, kind: str) -> None:
+    got = state.get("kind")
+    if got != kind:
+        raise CheckpointError(
+            f"{type(obj).__name__}: snapshot holds a {got!r} thermostat "
+            f"state, not {kind!r}")
+
+
+def restore_thermostat(state: dict):
+    """Rebuild a thermostat from a :meth:`get_state` dict.
+
+    The snapshot names the thermostat by kind (never by pickled class),
+    so restores stay valid across refactors of the class objects.
+    """
+    kind = state.get("kind")
+    if kind not in _THERMOSTATS:
+        raise CheckpointError(f"unknown thermostat kind {kind!r} in "
+                              f"snapshot")
+    thermo = _THERMOSTATS[kind](state)
+    thermo.set_state(state)
+    return thermo

@@ -11,6 +11,9 @@ from .trace import Timer, Trace, TraceEvent
 from .telemetry import (Span, Tracer, NullTracer, NULL_TRACER,
                         MetricsRegistry, TelemetrySnapshot, chrome_trace)
 from .execconfig import ExecutionConfig, DEFAULT_EXECUTION, resolve_execution
+from .checkpoint import (CheckpointError, CheckpointCorruptError,
+                         CheckpointStore, Restartable, RestartableRNG,
+                         SnapshotInfo, resolve_checkpoint_every)
 from .pool import (ExchangeWorkerPool, RankJob, WorkerDeathError,
                    default_nworkers, resolve_nworkers,
                    resolve_pool_timeout, resolve_pool_max_retries)
@@ -23,6 +26,9 @@ __all__ = [
     "Span", "Tracer", "NullTracer", "NULL_TRACER",
     "MetricsRegistry", "TelemetrySnapshot", "chrome_trace",
     "ExecutionConfig", "DEFAULT_EXECUTION", "resolve_execution",
+    "CheckpointError", "CheckpointCorruptError", "CheckpointStore",
+    "Restartable", "RestartableRNG", "SnapshotInfo",
+    "resolve_checkpoint_every",
     "ExchangeWorkerPool", "RankJob", "WorkerDeathError",
     "default_nworkers", "resolve_nworkers",
     "resolve_pool_timeout", "resolve_pool_max_retries",

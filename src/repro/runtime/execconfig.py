@@ -13,6 +13,7 @@ default and type-checks what it is given.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 
 from .telemetry import NULL_TRACER, Tracer
@@ -55,6 +56,16 @@ class ExecutionConfig:
     profile:
         Request a per-build profile table from the CLI/driver layer
         (implies nothing inside the libraries beyond ``tracer``).
+    checkpoint_dir:
+        Directory for trajectory snapshots
+        (:class:`repro.runtime.checkpoint.CheckpointStore`); ``None``
+        disables checkpointing.
+    checkpoint_every:
+        Auto-checkpoint cadence in MD steps (default:
+        ``REPRO_CHECKPOINT_EVERY`` or 10; only meaningful with
+        ``checkpoint_dir``).
+    checkpoint_keep:
+        Ring size — snapshots kept on disk besides pruning (default 3).
     """
 
     executor: str = "serial"
@@ -64,6 +75,9 @@ class ExecutionConfig:
     kernel: str = "quartet"
     tracer: Tracer | None = None
     profile: bool = False
+    checkpoint_dir: str | None = None
+    checkpoint_every: int | None = None
+    checkpoint_keep: int | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
@@ -99,6 +113,23 @@ class ExecutionConfig:
                 raise ValueError(
                     f"pool_max_retries must be a non-negative integer, "
                     f"got {self.pool_max_retries!r}")
+        if self.checkpoint_dir is not None and \
+                not isinstance(self.checkpoint_dir, (str, os.PathLike)):
+            raise ValueError(
+                f"checkpoint_dir must be a path, "
+                f"got {self.checkpoint_dir!r}")
+        if self.checkpoint_every is not None:
+            # full boundary validation (bool/non-positive rejection)
+            from .checkpoint import resolve_checkpoint_every
+
+            resolve_checkpoint_every(self.checkpoint_every)
+        if self.checkpoint_keep is not None:
+            if isinstance(self.checkpoint_keep, bool) or \
+                    not isinstance(self.checkpoint_keep, int) or \
+                    self.checkpoint_keep < 1:
+                raise ValueError(
+                    f"checkpoint_keep must be a positive integer, "
+                    f"got {self.checkpoint_keep!r}")
 
     @property
     def trace(self) -> Tracer:

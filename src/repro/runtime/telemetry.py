@@ -130,6 +130,21 @@ class MetricsRegistry:
         """Flat ``name -> value`` copy."""
         return dict(self._values)
 
+    # --- Restartable protocol -------------------------------------------------
+
+    def get_state(self) -> dict:
+        """Picklable copy of every counter/gauge (checkpointing)."""
+        return dict(self._values)
+
+    def set_state(self, state: dict) -> None:
+        """Replace the registry contents with a restored state.
+
+        Restored *counters* keep accumulating from their saved values,
+        so ``--profile`` totals span the whole logical run; restored
+        *gauges* simply hold until their next ``set``.
+        """
+        self._values = {str(k): v for k, v in dict(state).items()}
+
 
 @dataclass(frozen=True)
 class TelemetrySnapshot:
@@ -431,6 +446,9 @@ class _NullMetrics(MetricsRegistry):
 
     def set(self, name, value) -> None:  # noqa: D102 - see base
         pass
+
+    def set_state(self, state) -> None:  # noqa: D102 - see base
+        pass  # the shared null registry must never absorb state
 
 
 _NULL_METRICS = _NullMetrics()

@@ -114,6 +114,14 @@ class RHF:
         Externally owned :class:`repro.runtime.pool.ExchangeWorkerPool`
         to reuse (e.g. across the SCFs of an MD trajectory); when given,
         this driver does not close it.
+    k_builder:
+        Externally owned exchange builder with an
+        ``update(D) -> K`` surface (e.g.
+        :class:`repro.hfx.IncrementalExchange`): when given, direct
+        builds take K from it — the density-difference screen then
+        spans the SCF iterations — while J still comes from the direct
+        builder.  Requires ``mode="direct"``; the caller owns the
+        builder's history (``reset()`` at geometry jumps) and lifetime.
     """
 
     def __init__(self, mol: Molecule, basis: str | BasisSet = "sto-3g",
@@ -121,7 +129,7 @@ class RHF:
                  conv_tol: float = 1e-8, max_iter: int = 100,
                  diis_size: int = 8, level_shift: float = 0.0,
                  damping: float = 0.0, smearing: float = 0.0,
-                 jk_pool=None, config=None):
+                 jk_pool=None, k_builder=None, config=None):
         from ..runtime.execconfig import resolve_execution
 
         if mol.nelectron % 2 != 0:
@@ -147,6 +155,10 @@ class RHF:
         self.executor = self.config.executor
         self.nworkers = self.config.nworkers
         self.jk_pool = jk_pool
+        self.k_builder = k_builder
+        if k_builder is not None and mode != "direct":
+            raise ValueError("k_builder requires mode='direct' (the "
+                             "in-core tensor path builds J and K together)")
         if not 0.0 <= damping < 1.0:
             raise ValueError("damping must be in [0, 1)")
         if smearing < 0.0:
@@ -202,6 +214,9 @@ class RHF:
         """J and K for the current density (mode-dispatched)."""
         if self.mode == "incore":
             return jk_from_tensor(self._eri, D)
+        if self.k_builder is not None:
+            J, _ = self._direct.build(D, want_k=False)
+            return J, self.k_builder.update(D)
         return self._direct.build(D)
 
     # --- SCF loop -------------------------------------------------------------

@@ -1,0 +1,507 @@
+"""Checkpoint/restart: snapshot store, Restartable round-trips, and
+bit-identical kill/restore/continue trajectories.
+
+The bit-identity tests are the contract the subsystem exists for: a
+trajectory killed at step k and restored must walk the *exact* floating
+point sequence of an uninterrupted run — warm-start density, thermostat
+random stream, and step counter included — on both the serial and the
+process-pool executor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem import builders
+from repro.constants import fs_to_aut
+from repro.md import BOMD, CSVRThermostat, SCFForceEngine, restore_thermostat
+from repro.runtime import (CheckpointCorruptError, CheckpointError,
+                           CheckpointStore, ExecutionConfig, MetricsRegistry,
+                           Restartable, RestartableRNG, Tracer,
+                           resolve_checkpoint_every)
+from repro.runtime.checkpoint import _HEADER, FORMAT_VERSION, MAGIC
+
+pytestmark = pytest.mark.checkpoint
+
+
+# --- helpers ------------------------------------------------------------------
+
+
+def _assert_traj_identical(got, want):
+    """Bitwise trajectory equality: every array, every step."""
+    assert len(got) == len(want)
+    for sg, sw in zip(got, want):
+        assert sg.step == sw.step
+        assert np.array_equal(sg.coords, sw.coords)
+        assert np.array_equal(sg.velocities, sw.velocities)
+        assert np.array_equal(sg.forces, sw.forces)
+        assert sg.energy_pot == sw.energy_pot
+
+
+def _corrupt(path, offset=-8):
+    """Flip one payload byte in a snapshot file."""
+    blob = bytearray(path.read_bytes())
+    blob[offset] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+# --- the store ----------------------------------------------------------------
+
+
+def test_store_round_trip(tmp_path):
+    store = CheckpointStore(tmp_path / "ck")
+    state = {"kind": "demo", "x": np.arange(4.0), "nested": {"a": 1}}
+    info = store.save(state, step=3)
+    assert info.step == 3
+    assert info.path.name == "snap-00000003.ckpt"
+    assert info.nbytes == info.path.stat().st_size
+    loaded, linfo = store.load_latest()
+    assert linfo.step == 3
+    assert linfo.age_s >= 0.0
+    assert loaded["kind"] == "demo"
+    assert np.array_equal(loaded["x"], state["x"])
+
+
+def test_store_ring_pruning_and_latest_pointer(tmp_path):
+    store = CheckpointStore(tmp_path, keep=3)
+    for step in range(1, 7):
+        store.save({"step": step}, step=step)
+    names = sorted(p.name for p in store.snapshots())
+    assert names == ["snap-00000004.ckpt", "snap-00000005.ckpt",
+                     "snap-00000006.ckpt"]
+    assert store.latest_path().name == "snap-00000006.ckpt"
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_store_invalid_keep():
+    with pytest.raises(ValueError, match="keep"):
+        CheckpointStore("/tmp/x", keep=0)
+    with pytest.raises(ValueError, match="keep"):
+        CheckpointStore("/tmp/x", keep=True)
+
+
+def test_missing_directory_is_an_error(tmp_path):
+    store = CheckpointStore(tmp_path / "never-created")
+    with pytest.raises(CheckpointError, match="does not exist"):
+        store.load_latest()
+
+
+def test_empty_directory_is_an_error(tmp_path):
+    (tmp_path / "empty").mkdir()
+    store = CheckpointStore(tmp_path / "empty")
+    with pytest.raises(CheckpointError, match="no snapshots"):
+        store.load_latest()
+
+
+def test_corrupted_latest_falls_back_through_ring(tmp_path):
+    store = CheckpointStore(tmp_path, keep=3)
+    for step in (2, 4, 6):
+        store.save({"at": step}, step=step)
+    _corrupt(tmp_path / "snap-00000006.ckpt")
+    with pytest.warns(RuntimeWarning, match="checksum mismatch"):
+        state, info = store.load_latest()
+    assert info.step == 4
+    assert state["at"] == 4
+
+
+def test_truncated_snapshot_falls_back(tmp_path):
+    store = CheckpointStore(tmp_path, keep=3)
+    store.save({"at": 1}, step=1)
+    store.save({"at": 2}, step=2)
+    newest = tmp_path / "snap-00000002.ckpt"
+    newest.write_bytes(newest.read_bytes()[:_HEADER.size + 5])
+    with pytest.warns(RuntimeWarning, match="truncated payload"):
+        state, info = store.load_latest()
+    assert (state["at"], info.step) == (1, 1)
+
+
+def test_all_snapshots_corrupt_raises(tmp_path):
+    store = CheckpointStore(tmp_path, keep=2)
+    store.save({"at": 1}, step=1)
+    store.save({"at": 2}, step=2)
+    for p in store.snapshots():
+        _corrupt(p)
+    with pytest.warns(RuntimeWarning):
+        with pytest.raises(CheckpointError, match="no usable snapshot"):
+            store.load_latest()
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "snap-00000001.ckpt"
+    path.write_bytes(b"NOTACKPT!" + b"\x00" * 60)
+    store = CheckpointStore(tmp_path)
+    with pytest.raises(CheckpointCorruptError, match="bad magic"):
+        store.load(path)
+
+
+def test_newer_format_version_refused(tmp_path):
+    store = CheckpointStore(tmp_path)
+    info = store.save({"x": 1}, step=1)
+    blob = bytearray(info.path.read_bytes())
+    _, _, length, digest = _HEADER.unpack_from(blob)
+    blob[:_HEADER.size] = _HEADER.pack(MAGIC, FORMAT_VERSION + 1,
+                                       length, digest)
+    info.path.write_bytes(bytes(blob))
+    with pytest.raises(CheckpointCorruptError, match="newer than this code"):
+        store.load(info.path)
+
+
+def test_save_is_atomic_over_existing_snapshot(tmp_path):
+    """Re-saving the same step replaces the file in one rename."""
+    store = CheckpointStore(tmp_path)
+    store.save({"v": 1}, step=5)
+    store.save({"v": 2}, step=5)
+    state, _ = store.load_latest()
+    assert state["v"] == 2
+    assert len(store.snapshots()) == 1
+
+
+# --- resolve_checkpoint_every -------------------------------------------------
+
+
+def test_resolve_checkpoint_every_default(monkeypatch):
+    monkeypatch.delenv("REPRO_CHECKPOINT_EVERY", raising=False)
+    assert resolve_checkpoint_every() == 10
+    assert resolve_checkpoint_every(3) == 3
+    assert resolve_checkpoint_every("7") == 7
+
+
+def test_resolve_checkpoint_every_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "4")
+    assert resolve_checkpoint_every() == 4
+    monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "zero")
+    with pytest.raises(ValueError, match="positive integer"):
+        resolve_checkpoint_every()
+
+
+@pytest.mark.parametrize("bad", [True, False, 0, -1, 2.5, "many", None])
+def test_resolve_checkpoint_every_rejects(bad, monkeypatch):
+    if bad is None:
+        monkeypatch.setenv("REPRO_CHECKPOINT_EVERY", "-3")
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_checkpoint_every()
+    else:
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_checkpoint_every(bad)
+
+
+def test_execconfig_checkpoint_fields_validated():
+    cfg = ExecutionConfig(checkpoint_dir="/tmp/ck", checkpoint_every=5,
+                          checkpoint_keep=2)
+    assert cfg.checkpoint_every == 5
+    with pytest.raises(ValueError):
+        ExecutionConfig(checkpoint_every=0)
+    with pytest.raises(ValueError):
+        ExecutionConfig(checkpoint_keep=True)
+    with pytest.raises(ValueError):
+        ExecutionConfig(checkpoint_dir=123)
+
+
+# --- Restartable round-trips --------------------------------------------------
+
+
+def test_restartable_protocol_membership():
+    rng = RestartableRNG(0)
+    assert isinstance(rng, Restartable)
+    assert isinstance(MetricsRegistry(), Restartable)
+    assert isinstance(CSVRThermostat(300.0, 100.0), Restartable)
+    b = BOMD(builders.h2(0.78))
+    assert isinstance(b, Restartable)
+    assert isinstance(b.engine, Restartable)
+
+
+def test_rng_stream_continues_not_restarts():
+    a = RestartableRNG(42)
+    a.normal(size=10)              # advance past the seed point
+    snap = a.get_state()
+    want = a.normal(size=20)
+    b = RestartableRNG(42)
+    b.set_state(snap)
+    assert np.array_equal(b.normal(size=20), want)
+    # re-seeding alone would NOT continue the stream
+    c = RestartableRNG(42)
+    assert not np.array_equal(c.normal(size=20), want)
+
+
+def test_rng_rejects_foreign_state():
+    rng = RestartableRNG(0)
+    with pytest.raises(CheckpointError, match="bit-generator"):
+        rng.set_state({"kind": "rng", "bit_generator": None})
+    with pytest.raises(CheckpointError, match="bit generator"):
+        rng.set_state({"kind": "rng",
+                       "bit_generator": {"bit_generator": "MT19937",
+                                         "state": {}}})
+
+
+def test_csvr_thermostat_round_trip():
+    t1 = CSVRThermostat(300.0, fs_to_aut(10.0), seed=9)
+    t1._rng.normal(size=5)
+    snap = t1.get_state()
+    t2 = restore_thermostat(snap)
+    assert isinstance(t2, CSVRThermostat)
+    assert (t2.T, t2.tau, t2.seed) == (t1.T, t1.tau, 9)
+    assert t2._rng.normal() == t1._rng.normal()
+
+
+def test_restore_thermostat_unknown_kind():
+    with pytest.raises(CheckpointError, match="unknown thermostat"):
+        restore_thermostat({"kind": "nose-hoover"})
+
+
+def test_metrics_registry_round_trip():
+    m1 = MetricsRegistry()
+    m1.count("builds", 3)
+    m1.set("gauge", 7.5)
+    m2 = MetricsRegistry()
+    m2.set_state(m1.get_state())
+    m2.count("builds", 1)          # restored counters keep accumulating
+    assert m2.get("builds") == 4
+    assert m2.get("gauge") == 7.5
+
+
+def test_null_metrics_never_absorb_state():
+    from repro.runtime.telemetry import NULL_TRACER
+    NULL_TRACER.metrics.set_state({"poison": 1})
+    assert NULL_TRACER.metrics.get("poison") == 0
+
+
+def test_incremental_exchange_round_trip():
+    from repro.basis.basisset import build_basis
+    from repro.hfx.incremental import IncrementalExchange
+
+    basis = build_basis(builders.h2(0.74), "sto-3g")
+    rng = np.random.default_rng(1)
+    D = rng.normal(size=(basis.nbf, basis.nbf))
+    D = 0.5 * (D + D.T)
+    k1 = IncrementalExchange(basis)
+    k1.update(D)
+    k1.update(D + 1e-5)
+    k2 = IncrementalExchange(basis)
+    k2.set_state(k1.get_state())
+    assert np.array_equal(k2.K, k1.K)
+    D2 = D + 3e-5
+    assert np.array_equal(k2.update(D2), k1.update(D2))
+
+
+def test_incremental_exchange_rejects_wrong_basis():
+    from repro.basis.basisset import build_basis
+    from repro.hfx.incremental import IncrementalExchange
+
+    kh = IncrementalExchange(build_basis(builders.h2(0.74), "sto-3g"))
+    kw = IncrementalExchange(build_basis(builders.water(), "sto-3g"))
+    with pytest.raises(CheckpointError, match="function basis"):
+        kw.set_state(kh.get_state())
+
+
+def test_incremental_exchange_reset_keeps_savings_totals():
+    from repro.basis.basisset import build_basis
+    from repro.hfx.incremental import IncrementalExchange
+
+    basis = build_basis(builders.h2(0.74), "sto-3g")
+    D = np.eye(basis.nbf)
+    kinc = IncrementalExchange(basis)
+    kinc.update(D)
+    kinc.update(D + 1e-9)          # incremental build: quartets screened out
+    total_before = kinc.total_quartets_full
+    kinc.reset()
+    assert kinc.builds == 0
+    assert not kinc.D_ref.any()
+    assert not kinc.K.any()
+    # cumulative stats survive so `savings` spans the whole logical run
+    assert kinc.total_quartets_full == total_before
+    assert np.array_equal(kinc.update(D), kinc.K)
+
+
+def test_scf_engine_round_trip_warm_start():
+    mol = builders.h2(0.76)
+    e1 = SCFForceEngine(mol, method="hf")
+    e1.energy_forces(mol.coords)
+    snap = e1.get_state()
+    assert snap["last_D"] is not None
+    e2 = SCFForceEngine(builders.h2(0.76), method="hf")
+    e2.set_state(snap)
+    coords2 = mol.coords * 1.001
+    en1, f1 = e1.energy_forces(coords2)
+    en2, f2 = e2.energy_forces(coords2)
+    assert en1 == en2
+    assert np.array_equal(f1, f2)
+    assert e1.scf_iterations == e2.scf_iterations
+
+
+def test_scf_engine_rejects_mismatched_snapshot():
+    e1 = SCFForceEngine(builders.h2(0.76), method="hf")
+    e2 = SCFForceEngine(builders.water(), method="hf")
+    with pytest.raises(CheckpointError, match="natom"):
+        e2.set_state(e1.get_state())
+    bad = e1.get_state() | {"kind": "other"}
+    with pytest.raises(CheckpointError, match="scf_engine"):
+        e1.set_state(bad)
+
+
+# --- BOMD kill/restore/continue ----------------------------------------------
+
+
+def test_bomd_checkpoint_requires_store():
+    b = BOMD(builders.h2(0.78))
+    with pytest.raises(CheckpointError, match="checkpoint_dir"):
+        b.checkpoint()
+
+
+def test_bomd_restore_requires_directory():
+    with pytest.raises(CheckpointError, match="no checkpoint directory"):
+        BOMD.restore()
+
+
+def test_bomd_state_mismatch_diagnosed(tmp_path):
+    cfg = ExecutionConfig(checkpoint_dir=str(tmp_path), checkpoint_every=2)
+    b = BOMD(builders.h2(0.78), dt_fs=0.5, config=cfg)
+    b.run(2)
+    other = BOMD(builders.h2(0.78), dt_fs=0.25)
+    with pytest.raises(CheckpointError, match="dt_fs"):
+        other.set_state(b.get_state())
+
+
+def test_bomd_run_is_resume_aware(tmp_path):
+    """run(n) integrates until *logical* step n, from wherever it is."""
+    b = BOMD(builders.h2(0.78), dt_fs=0.5)
+    b.run(3)
+    traj = b.run(5)                # takes only 2 more steps
+    assert [s.step for s in traj] == list(range(6))
+    assert b.run(5) == traj        # already there: a no-op
+
+
+def test_bomd_kill_restore_continue_nve_serial(tmp_path):
+    """The acceptance contract: kill at step 5, restore, run >= 20 more
+    steps — bitwise identical to the uninterrupted trajectory."""
+    ref = BOMD(builders.h2(0.80), dt_fs=0.5)
+    want = ref.run(25)
+
+    ckdir = tmp_path / "ck"
+    cfg = ExecutionConfig(checkpoint_dir=str(ckdir), checkpoint_every=5)
+    victim = BOMD(builders.h2(0.80), dt_fs=0.5, config=cfg)
+    victim.run(5)
+    del victim                     # the "crash"
+
+    revived = BOMD.restore(str(ckdir))
+    assert revived.state.step == 5
+    got = revived.run(25)
+    _assert_traj_identical(got, want)
+
+
+def test_bomd_kill_restore_continue_csvr_thermostat(tmp_path):
+    """Stochastic NVT: the restored thermostat continues the random
+    stream, so the resumed trajectory is still bit-identical."""
+    def make(config=None):
+        return BOMD(builders.h2(0.78), dt_fs=0.5, temperature=300.0,
+                    seed=11, config=config,
+                    thermostat=CSVRThermostat(300.0, fs_to_aut(10.0),
+                                              seed=11))
+
+    want = make().run(27)
+
+    ckdir = tmp_path / "ck"
+    cfg = ExecutionConfig(checkpoint_dir=str(ckdir), checkpoint_every=7)
+    victim = make(cfg)
+    victim.run(7)
+    del victim
+
+    revived = BOMD.restore(str(ckdir))
+    assert isinstance(revived.thermostat, CSVRThermostat)
+    got = revived.run(27)
+    _assert_traj_identical(got, want)
+
+
+def test_bomd_restore_falls_back_past_corrupt_latest(tmp_path):
+    """A bit-flipped newest snapshot costs a warning and a few redone
+    steps — never the trajectory."""
+    want = BOMD(builders.h2(0.80), dt_fs=0.5).run(12)
+
+    ckdir = tmp_path / "ck"
+    cfg = ExecutionConfig(checkpoint_dir=str(ckdir), checkpoint_every=2,
+                          checkpoint_keep=4)
+    victim = BOMD(builders.h2(0.80), dt_fs=0.5, config=cfg)
+    victim.run(8)
+    del victim
+    _corrupt(ckdir / "snap-00000008.ckpt")
+
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        revived = BOMD.restore(str(ckdir))
+    assert revived.state.step == 6      # newest *uncorrupted* snapshot
+    got = revived.run(12)
+    _assert_traj_identical(got, want)
+
+
+def test_bomd_checkpoint_telemetry_and_provenance(tmp_path):
+    from repro.analysis.report import profile_table
+
+    ckdir = tmp_path / "ck"
+    tr = Tracer()
+    cfg = ExecutionConfig(checkpoint_dir=str(ckdir), checkpoint_every=2,
+                          tracer=tr)
+    BOMD(builders.h2(0.78), dt_fs=0.5, config=cfg).run(4)
+
+    tr2 = Tracer()
+    revived = BOMD.restore(str(ckdir),
+                           config=ExecutionConfig(tracer=tr2))
+    revived.run(6)
+    summ = tr2.snapshot().summary()
+    assert "checkpoint.restore" in summ["span_totals"]
+    assert "checkpoint.write" in summ["span_totals"]
+    assert summ["counters"]["checkpoint.restored_step"] == 4
+    # restored counters span the whole logical run, not just the tail
+    assert summ["counters"]["md.steps"] == 6
+    table = profile_table(tr2.snapshot())
+    assert "restored from checkpoint: step 4" in table
+
+
+@pytest.mark.pool
+def test_bomd_kill_restore_continue_process_pool(tmp_path):
+    """Kill/restore under the process executor: the revived run spawns
+    a fresh 2-worker pool (never unpickles the dead one) and still
+    reproduces the uninterrupted trajectory bitwise."""
+    ckdir = tmp_path / "ck"
+    pool_cfg = dict(executor="process", nworkers=2)
+
+    ref = BOMD(builders.h2(0.80), dt_fs=0.5,
+               config=ExecutionConfig(**pool_cfg))
+    try:
+        want = ref.run(24)
+    finally:
+        ref.engine.close()
+
+    victim = BOMD(builders.h2(0.80), dt_fs=0.5,
+                  config=ExecutionConfig(checkpoint_dir=str(ckdir),
+                                         checkpoint_every=4, **pool_cfg))
+    try:
+        victim.run(4)
+    finally:
+        victim.engine.close()      # the "crash" kills the pool too
+    del victim
+
+    revived = BOMD.restore(str(ckdir),
+                           config=ExecutionConfig(**pool_cfg))
+    assert revived.engine._pool is None   # fresh pool, spawned lazily
+    try:
+        got = revived.run(24)
+    finally:
+        revived.engine.close()
+    _assert_traj_identical(got, want)
+
+
+def test_bomd_incremental_engine_round_trip(tmp_path):
+    """The incremental-exchange engine checkpoints and resumes
+    bit-identically too (its screen history resets at every geometry
+    jump, so nothing beyond the warm start needs to ride along)."""
+    ref = BOMD(builders.h2(0.80), dt_fs=0.5, incremental=True)
+    want = ref.run(8)
+
+    ckdir = tmp_path / "ck"
+    cfg = ExecutionConfig(checkpoint_dir=str(ckdir), checkpoint_every=3)
+    victim = BOMD(builders.h2(0.80), dt_fs=0.5, incremental=True,
+                  config=cfg)
+    victim.run(3)
+    del victim
+
+    revived = BOMD.restore(str(ckdir))
+    assert revived.incremental
+    got = revived.run(8)
+    _assert_traj_identical(got, want)

@@ -114,3 +114,57 @@ def test_scf_rejects_bad_pool_timeout_env(monkeypatch, capsys):
     monkeypatch.setenv("REPRO_POOL_TIMEOUT", "not-a-number")
     with pytest.raises(SystemExit):
         main(["scf", "h2"])
+
+
+def test_md_basic_run(capsys):
+    assert main(["md", "h2", "--steps", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "2 atoms" in out
+    assert "steps 0..3" in out
+    assert "drift" in out
+
+
+def test_md_checkpoint_then_restore(tmp_path, capsys):
+    ck = str(tmp_path / "ck")
+    assert main(["md", "h2", "--steps", "4", "--checkpoint", ck,
+                 "--checkpoint-every", "2"]) == 0
+    out = capsys.readouterr().out
+    assert f"checkpointing to '{ck}' every 2 steps" in out
+    assert (tmp_path / "ck" / "latest").is_file()
+
+    assert main(["md", "--restore", ck, "--steps", "6",
+                 "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "at step 4" in out
+    assert "steps 0..6" in out
+    assert "restored from checkpoint: step 4" in out
+
+
+def test_md_restore_missing_directory(tmp_path):
+    with pytest.raises(SystemExit, match="does not exist"):
+        main(["md", "--restore", str(tmp_path / "nope")])
+
+
+def test_md_restore_needs_a_directory():
+    with pytest.raises(SystemExit, match="needs a directory"):
+        main(["md", "h2", "--restore"])
+
+
+def test_md_thermostat_needs_temperature():
+    with pytest.raises(SystemExit, match="--temperature"):
+        main(["md", "h2", "--thermostat", "csvr"])
+
+
+def test_md_rejects_bad_checkpoint_every():
+    with pytest.raises(SystemExit):
+        main(["md", "h2", "--checkpoint-every", "0"])
+
+
+def test_md_json_output(tmp_path, capsys):
+    import json
+
+    assert main(["md", "h2", "--steps", "2", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["md"]["steps"] == 2
+    assert doc["md"]["restored_from"] is None
+    assert doc["molecule"]["natom"] == 2
