@@ -81,12 +81,17 @@ def _cmd_scf(args) -> int:
         raise SystemExit("--executor process is wired through the direct "
                          "RHF builder; use --method hf on a closed-shell "
                          "molecule")
+    if args.scf_solver != "diis" and (args.method == "uhf"
+                                      or mol.multiplicity > 1):
+        raise SystemExit("--scf-solver soscf/auto is wired through the "
+                         "closed-shell drivers; the UHF path is DIIS-only")
     tracer = Tracer(name=f"scf:{mol.name or 'molecule'}") \
         if (args.trace or args.profile) else None
     config = ExecutionConfig(executor=args.executor, nworkers=args.nworkers,
                              pool_timeout=pool_timeout,
                              pool_max_retries=pool_max_retries,
                              kernel=args.kernel,
+                             scf_solver=args.scf_solver,
                              tracer=tracer, profile=args.profile)
     label = args.method.upper()
     if args.method == "uhf" or mol.multiplicity > 1:
@@ -183,7 +188,8 @@ def _cmd_md(args) -> int:
     config = ExecutionConfig(executor=args.executor, nworkers=args.nworkers,
                              pool_timeout=pool_timeout,
                              pool_max_retries=pool_max_retries,
-                             kernel=args.kernel, tracer=tracer,
+                             kernel=args.kernel,
+                             scf_solver=args.scf_solver, tracer=tracer,
                              profile=args.profile,
                              checkpoint_dir=args.checkpoint,
                              checkpoint_every=checkpoint_every,
@@ -397,6 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="ERI evaluation granularity for direct builds: "
                          "one shell quartet per call (reference) or whole "
                          "L-class batches (faster, ~1e-13 agreement)")
+    ps.add_argument("--scf-solver", default="diis",
+                    choices=["diis", "soscf", "auto"],
+                    help="SCF convergence strategy: Pulay DIIS (bit-exact "
+                         "reference), ADIIS+Newton (soscf), or DIIS with "
+                         "Newton handoff (auto) — the accelerated solvers "
+                         "agree to the convergence tolerance in fewer "
+                         "Fock builds (see scf.fock_builds in --profile)")
     ps.add_argument("--trace", metavar="FILE",
                     help="write a Chrome-trace JSON of the run "
                          "(chrome://tracing / Perfetto)")
@@ -440,6 +453,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker count for --executor process")
     pm.add_argument("--kernel", default="quartet",
                     choices=["quartet", "batched"])
+    pm.add_argument("--scf-solver", default="diis",
+                    choices=["diis", "soscf", "auto"],
+                    help="SCF convergence strategy for the force engine "
+                         "(soscf/auto warm-start each step's Newton solver "
+                         "and survive checkpoint/restore)")
     pm.add_argument("--checkpoint", metavar="DIR",
                     help="snapshot the trajectory into DIR (atomic, "
                          "checksummed, ring-pruned)")

@@ -102,6 +102,7 @@ class SCFForceEngine:
     scf_iterations: list[int] = field(default_factory=list)
     _pool: object = field(default=None, repr=False)
     _kinc: object = field(default=None, repr=False)
+    _soscf_state: dict | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         from ..runtime.execconfig import resolve_execution
@@ -144,6 +145,10 @@ class SCFForceEngine:
 
     def _solver(self, mol: Molecule):
         kwargs = dict(self.scf_kwargs)
+        if self.config.scf_solver != "diis" and self._soscf_state is not None:
+            # warm-start the Newton solver with the previous step's
+            # adaptive state (trust radius, cumulative counters)
+            kwargs.setdefault("soscf_state", self._soscf_state)
         if self.method.lower() == "hf":
             if self.executor == "process" and self._pool is not None \
                     and self._pool.closed:
@@ -207,6 +212,8 @@ class SCFForceEngine:
                 base = self._energy(coords, D0)
             self.last_result = base
             self.scf_iterations.append(base.niter)
+            if getattr(base, "soscf_state", None) is not None:
+                self._soscf_state = base.soscf_state
             h = self.fd_step
             F = np.zeros((n, 3))
             with tr.span("md.fd", cat="md", ndisplacements=6 * n):
@@ -226,7 +233,8 @@ class SCFForceEngine:
     # --- Restartable protocol -------------------------------------------------
 
     def get_state(self) -> dict:
-        """Warm-start density and per-step SCF statistics.
+        """Warm-start density, SOSCF solver state, and per-step SCF
+        statistics.
 
         The worker pool is *never* serialized (live pipes and process
         handles cannot be revived); a restored engine respawns a fresh
@@ -244,6 +252,8 @@ class SCFForceEngine:
                        if (self.last_result is not None and
                            self.reuse_density) else None),
             "scf_iterations": list(self.scf_iterations),
+            "soscf": (dict(self._soscf_state)
+                      if self._soscf_state is not None else None),
         }
 
     def set_state(self, state: dict) -> None:
@@ -272,6 +282,8 @@ class SCFForceEngine:
         self.last_result = None if last_D is None else _WarmStart(
             D=np.array(last_D, dtype=np.float64, copy=True))
         self.scf_iterations = list(state.get("scf_iterations", ()))
+        soscf = state.get("soscf")
+        self._soscf_state = dict(soscf) if soscf is not None else None
         if self._kinc is not None:
             # any in-memory increment history predates the snapshot
             self._kinc.reset()

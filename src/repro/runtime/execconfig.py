@@ -22,6 +22,7 @@ __all__ = ["ExecutionConfig", "DEFAULT_EXECUTION", "resolve_execution"]
 
 _EXECUTORS = ("serial", "process")
 _KERNELS = ("quartet", "batched")
+_SCF_SOLVERS = ("diis", "soscf", "auto")
 
 
 @dataclass(frozen=True, eq=False)
@@ -50,6 +51,16 @@ class ExecutionConfig:
         with the reference to ~1e-13 and is several times faster).
         Screening is kernel-independent, so both walk — and count —
         the identical surviving-quartet list.
+    scf_solver:
+        SCF convergence strategy for the closed-shell drivers:
+        ``"diis"`` (Pulay DIIS only; the bit-exact reference),
+        ``"soscf"`` (ADIIS/EDIIS rough phase, then trust-radius Newton
+        micro-iterations), or ``"auto"`` (DIIS until the commutator
+        norm crosses the handoff threshold or stalls, then Newton) —
+        see :mod:`repro.scf.soscf`.  The accelerated solvers agree with
+        the DIIS reference energies to the convergence tolerance while
+        spending fewer Fock builds (``scf.fock_builds`` /
+        ``scf.micro_iters`` in ``--profile``).
     tracer:
         Telemetry sink (:class:`repro.runtime.telemetry.Tracer`) or
         ``None`` for the zero-cost disabled path.
@@ -73,6 +84,7 @@ class ExecutionConfig:
     pool_timeout: float | None = None
     pool_max_retries: int | None = None
     kernel: str = "quartet"
+    scf_solver: str = "diis"
     tracer: Tracer | None = None
     profile: bool = False
     checkpoint_dir: str | None = None
@@ -88,6 +100,10 @@ class ExecutionConfig:
             raise ValueError(
                 f"kernel must be 'quartet' or 'batched', "
                 f"got {self.kernel!r}")
+        if self.scf_solver not in _SCF_SOLVERS:
+            raise ValueError(
+                f"scf_solver must be 'diis', 'soscf', or 'auto', "
+                f"got {self.scf_solver!r}")
         if self.nworkers is not None:
             if not isinstance(self.nworkers, int) or \
                     isinstance(self.nworkers, bool):

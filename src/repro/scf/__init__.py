@@ -5,6 +5,7 @@ from .fock import (DirectJKBuilder, coulomb_from_tensor, exchange_from_tensor,
                    jk_from_tensor)
 from .guess import core_guess, density_from_orbitals, orthogonalizer
 from .rhf import RHF, SCFResult, run_rhf
+from .soscf import ADIIS, EDIIS, NewtonSOSCF
 from .uhf import UHF, UHFResult, run_uhf
 from .mp2 import ao_to_mo, mp2_energy
 from .gradient import (rhf_gradient, nuclear_repulsion_gradient,
@@ -16,6 +17,7 @@ __all__ = [
     "jk_from_tensor",
     "core_guess", "density_from_orbitals", "orthogonalizer",
     "RHF", "SCFResult", "run_rhf",
+    "ADIIS", "EDIIS", "NewtonSOSCF",
     "UHF", "UHFResult", "run_uhf",
     "ao_to_mo", "mp2_energy",
     "rhf_gradient", "nuclear_repulsion_gradient", "AnalyticSCFForceEngine",

@@ -11,6 +11,7 @@ import numpy as np
 
 from ..chem.molecule import Molecule, nuclear_repulsion
 from .diis import DIIS
+from .fock import jk_from_tensor
 from .functionals import Functional, get_functional
 from .grid import MolecularGrid, eval_aos
 from .guess import core_guess, density_from_orbitals, orthogonalizer
@@ -97,14 +98,25 @@ class RKS(RHF):
         self.grid_level = grid_level
         self._xc: XCIntegrator | None = None
 
+    def _prepare_xc(self) -> None:
+        """Build the Becke grid integrator (no-op for pure HF)."""
+        if self.functional.name.lower() != "hf" and self._xc is None:
+            grid = MolecularGrid.build(self.mol, *self.grid_level)
+            self._xc = XCIntegrator(self.basis, grid, self.functional)
+
     def run(self, D0: np.ndarray | None = None) -> SCFResult:
-        """Iterate the Kohn-Sham equations to self-consistency."""
+        """Iterate the Kohn-Sham equations to self-consistency.
+
+        Dispatches exactly like :meth:`RHF.run`: ``scf_solver="diis"``
+        runs the reference loop below, the accelerated solvers share
+        :meth:`RHF._run_soscf` through the ``_soscf_*`` hooks.
+        """
+        if self.scf_solver != "diis":
+            return self._run_soscf(D0)
         S, hcore = self._setup()
         a_hfx = self.functional.hfx_fraction
         pure_hf = self.functional.name.lower() == "hf"
-        if not pure_hf:
-            grid = MolecularGrid.build(self.mol, *self.grid_level)
-            self._xc = XCIntegrator(self.basis, grid, self.functional)
+        self._prepare_xc()
         nocc = self.mol.nelectron // 2
         if D0 is None:
             D, C, eps = core_guess(hcore, S, nocc)
@@ -124,6 +136,7 @@ class RKS(RHF):
                     need_k = a_hfx > 0.0
                     J, K = self.build_jk(D) if need_k else \
                         (self.build_jk(D)[0], None)
+                    tr.count("scf.fock_builds", 1)
                     F = hcore + J
                     e2 = 0.5 * float(np.einsum("pq,pq->", D, J))
                     exc = 0.0
@@ -159,6 +172,7 @@ class RKS(RHF):
         if tr.enabled:
             tr.metrics.set("scf.niter", it)
             tr.metrics.set("scf.converged", int(converged))
+            tr.metrics.set("scf.diis_fallbacks", diis.fallbacks)
         # canonicalize against the final Fock matrix (see RHF.run)
         f = X.T @ F @ X
         eps, Cp = np.linalg.eigh(f)
@@ -167,8 +181,76 @@ class RKS(RHF):
             energy=energy, energy_nuc=enuc, energy_electronic=energy - enuc,
             converged=converged, niter=it, C=C, eps=eps, D=D, F=F, S=S,
             hcore=hcore, basis=self.basis, exchange_energy=ex_energy,
-            history=history,
+            history=history, solver="diis", fock_builds=it,
         )
+
+    # --- SOSCF hooks (see RHF._run_soscf) -------------------------------------
+
+    def _soscf_fock_energy(self, hcore: np.ndarray, enuc: float):
+        """Kohn-Sham ``fock_energy(D)``: Coulomb + scaled exact
+        exchange + grid-integrated semilocal XC, same operations as one
+        reference-loop iteration."""
+        a_hfx = self.functional.hfx_fraction
+        pure_hf = self.functional.name.lower() == "hf"
+        tr = self.config.trace
+
+        def fock_energy(D):
+            need_k = a_hfx > 0.0
+            J, K = self.build_jk(D) if need_k else \
+                (self.build_jk(D)[0], None)
+            F = hcore + J
+            e2 = 0.5 * float(np.einsum("pq,pq->", D, J))
+            exc = 0.0
+            ex_energy = 0.0
+            if need_k:
+                F = F - 0.5 * a_hfx * K
+                ex_energy = -0.25 * float(np.einsum("pq,pq->", K, D))
+                exc += a_hfx * ex_energy
+            if not pure_hf:
+                with tr.span("xc.integrate", cat="xc"):
+                    e_xc_sl, Vxc = self._xc.exc_and_potential(D)
+                F = F + Vxc
+                exc += e_xc_sl
+            e_core = float(np.einsum("pq,pq->", D, hcore))
+            return F, e_core + e2 + exc + enuc, ex_energy
+        return fock_energy
+
+    def _soscf_response(self):
+        """Kohn-Sham response ``J(d) - 0.5 a_hfx K(d) + f_xc[D]·d``.
+
+        The semilocal XC-kernel term is evaluated *seminumerically*: a
+        central finite difference of the cached-grid potential,
+        ``(Vxc(D + h u) - Vxc(D - h u)) / 2h`` with ``u = d/|d|_max``.
+        Two grid integrations per micro-iteration — a pair of
+        ``(npts, nbf)`` matrix products against the cached AO table,
+        far cheaper than the ERI response build — buy back the
+        quadratic convergence that the bare "HF response"
+        approximation forfeits for PBE/PBE0.
+        """
+        a_hfx = self.functional.hfx_fraction
+        pure_hf = self.functional.name.lower() == "hf"
+
+        def response(d, D=None):
+            if self.mode == "incore":
+                J, K = jk_from_tensor(self._eri, d)
+                G = J - 0.5 * a_hfx * K if a_hfx > 0.0 else J
+            elif a_hfx > 0.0:
+                J, K = self._direct.build(d)
+                G = J - 0.5 * a_hfx * K
+            else:
+                J, _ = self._direct.build(d, want_k=False)
+                G = J
+            if pure_hf or D is None:
+                return G
+            nrm = float(np.abs(d).max())
+            if nrm <= 0.0:
+                return G
+            h = 1e-4                       # absolute step along u
+            u = d / nrm
+            _, Vp = self._xc.exc_and_potential(D + h * u)
+            _, Vm = self._xc.exc_and_potential(D - h * u)
+            return G + (nrm / (2.0 * h)) * (Vp - Vm)
+        return response
 
 
 def run_rks(mol: Molecule, basis: str = "sto-3g", functional: str = "pbe0",

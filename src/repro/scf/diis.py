@@ -7,6 +7,19 @@ import numpy as np
 
 __all__ = ["DIIS"]
 
+#: Condition-number ceiling for the *scaled* DIIS B system (the
+#: error-overlap block normalized by its largest diagonal — uniform
+#: scaling of that block leaves the DIIS coefficients invariant, only
+#: the Lagrange multiplier rescales).  The raw B matrix is always
+#: ill-conditioned near convergence (overlaps ~err^2 against the O(1)
+#: constraint border), so the raw condition number cannot distinguish
+#: "almost converged" from "singular"; the scaled one can.  Beyond this
+#: ceiling the linear solve returns coefficient noise instead of an
+#: extrapolation, which is the silent-stall failure mode: the
+#: "extrapolated" Fock is garbage and the SCF re-treads the same
+#: iterates without the error ever dropping.
+_COND_MAX = 1e14
+
 
 class DIIS:
     """Classic commutator-DIIS.
@@ -14,6 +27,14 @@ class DIIS:
     Stores up to ``max_vec`` Fock matrices and their orbital-gradient
     residuals ``e = S^-1/2 (FDS - SDF) S^-1/2`` and extrapolates the next
     Fock matrix by minimizing the residual norm in the spanned subspace.
+
+    When the B matrix turns numerically singular (near-duplicate
+    residuals from a stalled or oscillating SCF), the *oldest* stored
+    vectors are evicted one at a time and the system re-solved until it
+    is well-posed again — extrapolation keeps working on the trustworthy
+    recent history instead of silently degrading to the raw latest Fock.
+    Every eviction increments :attr:`fallbacks` (surfaced as the
+    ``scf.diis_fallbacks`` telemetry counter by the SCF drivers).
     """
 
     def __init__(self, max_vec: int = 8):
@@ -22,6 +43,8 @@ class DIIS:
         self.max_vec = max_vec
         self._focks: list[np.ndarray] = []
         self._errs: list[np.ndarray] = []
+        #: Oldest-vector evictions forced by an ill-conditioned B matrix.
+        self.fallbacks: int = 0
 
     @property
     def nvec(self) -> int:
@@ -43,31 +66,61 @@ class DIIS:
             return np.inf
         return float(np.abs(self._errs[-1]).max())
 
-    def extrapolate(self) -> np.ndarray:
-        """Solve the DIIS equations and return the extrapolated Fock.
-
-        Falls back to the latest Fock when fewer than two vectors are
-        stored or the B matrix is numerically singular.
-        """
-        n = len(self._focks)
-        if n < 2:
-            return self._focks[-1]
+    def _solve(self, n: int) -> np.ndarray | None:
+        """DIIS coefficients over the newest ``n`` vectors, or ``None``
+        when that system is singular/ill-conditioned."""
+        errs = self._errs[-n:]
         B = np.empty((n + 1, n + 1))
         B[-1, :] = -1.0
         B[:, -1] = -1.0
         B[-1, -1] = 0.0
         for i in range(n):
             for j in range(i, n):
-                B[i, j] = B[j, i] = float(np.vdot(self._errs[i], self._errs[j]))
+                B[i, j] = B[j, i] = float(np.vdot(errs[i], errs[j]))
         rhs = np.zeros(n + 1)
         rhs[-1] = -1.0
+        if not np.all(np.isfinite(B)):
+            return None
+        scale = float(np.abs(np.diagonal(B)[:n]).max())
+        if scale > 0.0:
+            Bs = B.copy()
+            Bs[:n, :n] /= scale
+            if np.linalg.cond(Bs) > _COND_MAX:
+                return None
         try:
             coef = np.linalg.solve(B, rhs)[:n]
         except np.linalg.LinAlgError:
-            return self._focks[-1]
+            return None
         if not np.all(np.isfinite(coef)):
-            return self._focks[-1]
-        out = np.zeros_like(self._focks[-1])
-        for c, f in zip(coef, self._focks):
-            out += c * f
-        return out
+            return None
+        return coef
+
+    def extrapolate(self) -> np.ndarray:
+        """Solve the DIIS equations and return the extrapolated Fock.
+
+        Returns the (single) stored Fock verbatim when only one vector
+        is stored; raises :class:`RuntimeError` on an empty store — the
+        "latest Fock" fallback the old contract promised does not exist
+        before the first :meth:`push`.  An ill-conditioned B matrix
+        evicts the oldest vectors (counted in :attr:`fallbacks`) until
+        the solve is well-posed.
+        """
+        if not self._focks:
+            raise RuntimeError(
+                "DIIS.extrapolate: no Fock matrices stored — push() at "
+                "least one Fock/error pair first")
+        n = len(self._focks)
+        while n >= 2:
+            coef = self._solve(n)
+            if coef is not None:
+                out = np.zeros_like(self._focks[-1])
+                for c, f in zip(coef, self._focks[-n:]):
+                    out += c * f
+                return out
+            # ill-posed: permanently drop the oldest (stalest) vector
+            # and re-solve on the trustworthy recent history
+            self._focks.pop(0)
+            self._errs.pop(0)
+            self.fallbacks += 1
+            n -= 1
+        return self._focks[-1]

@@ -21,6 +21,16 @@ def fermi_occupations(eps: np.ndarray, nelec: float,
     eps = np.asarray(eps, dtype=np.float64)
     if sigma <= 0.0:
         raise ValueError("sigma must be positive")
+    if nelec < 0.0:
+        raise ValueError(f"nelec must be non-negative, got {nelec}")
+    if nelec > 2.0 * len(eps):
+        # each spatial orbital holds at most 2 electrons, so the
+        # bisection target is unreachable and the returned occupations
+        # would silently sum to < nelec
+        raise ValueError(
+            f"fermi_occupations: cannot place {nelec} electrons in "
+            f"{len(eps)} orbitals (capacity {2 * len(eps)}) — the "
+            f"orbital spectrum is too small for the electron count")
 
     def occ(mu):
         x = np.clip((eps - mu) / sigma, -60.0, 60.0)

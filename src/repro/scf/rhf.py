@@ -41,6 +41,10 @@ class SCFResult:
     basis: BasisSet
     exchange_energy: float = 0.0
     history: list[float] = field(default_factory=list)
+    solver: str = "diis"
+    fock_builds: int = 0
+    micro_iters: int = 0
+    soscf_state: dict | None = None
 
     @property
     def nocc(self) -> int:
@@ -48,9 +52,25 @@ class SCFResult:
         return self.basis.molecule.nelectron // 2
 
     def homo_lumo_gap(self) -> float:
-        """HOMO-LUMO gap in Hartree (inf when no virtuals exist)."""
+        """HOMO-LUMO gap in Hartree.
+
+        ``inf`` when the frontier pair does not exist: no occupied
+        orbitals (``nocc == 0`` — there is no HOMO to wrap to) or no
+        virtuals.  Canonical orthogonalization can project
+        near-linearly-dependent combinations out of the spectrum, so
+        ``eps`` may be shorter than ``nbf``; a density that needs more
+        orbitals than the projected spectrum holds is an error, not a
+        silent out-of-range read.
+        """
         n = self.nocc
-        if n >= len(self.eps):
+        nmo = len(self.eps)
+        if n > nmo:
+            raise ValueError(
+                f"homo_lumo_gap: {n} occupied orbitals but only {nmo} "
+                f"orbital energies — the orthogonalizer's linear-"
+                f"dependence projection left too few orbitals for the "
+                f"electron count")
+        if n == 0 or n == nmo:
             return np.inf
         return float(self.eps[n] - self.eps[n - 1])
 
@@ -75,6 +95,9 @@ class SCFResult:
             "niter": int(self.niter),
             "nbf": int(self.basis.nbf),
             "nocc": int(self.nocc),
+            "solver": str(self.solver),
+            "fock_builds": int(self.fock_builds),
+            "micro_iters": int(self.micro_iters),
         }
 
     def to_dict(self) -> dict:
@@ -122,6 +145,17 @@ class RHF:
         spans the SCF iterations — while J still comes from the direct
         builder.  Requires ``mode="direct"``; the caller owns the
         builder's history (``reset()`` at geometry jumps) and lifetime.
+    soscf_rough:
+        Rough-phase interpolation for ``scf_solver="soscf"``:
+        ``"adiis"`` (default) or ``"ediis"`` — see
+        :mod:`repro.scf.soscf`.  Ignored by the other solvers
+        (``"auto"`` roughs with plain DIIS so its pre-handoff iterates
+        match the reference loop).
+    soscf_state:
+        Warm-start state for the Newton solver (a dict previously
+        returned on :attr:`SCFResult.soscf_state`): restores the
+        adaptive trust radius and cumulative counters so SOSCF warm
+        starts survive checkpoint/restore across an MD trajectory.
     """
 
     def __init__(self, mol: Molecule, basis: str | BasisSet = "sto-3g",
@@ -129,7 +163,9 @@ class RHF:
                  conv_tol: float = 1e-8, max_iter: int = 100,
                  diis_size: int = 8, level_shift: float = 0.0,
                  damping: float = 0.0, smearing: float = 0.0,
-                 jk_pool=None, k_builder=None, config=None):
+                 jk_pool=None, k_builder=None, config=None,
+                 soscf_rough: str = "adiis",
+                 soscf_state: dict | None = None):
         from ..runtime.execconfig import resolve_execution
 
         if mol.nelectron % 2 != 0:
@@ -154,6 +190,17 @@ class RHF:
         self.smearing = smearing
         self.executor = self.config.executor
         self.nworkers = self.config.nworkers
+        self.scf_solver = self.config.scf_solver
+        self.soscf_rough = soscf_rough
+        self.soscf_state = soscf_state
+        if soscf_rough not in ("adiis", "ediis"):
+            raise ValueError(f"soscf_rough must be 'adiis' or 'ediis', "
+                             f"got {soscf_rough!r}")
+        if self.scf_solver != "diis" and smearing > 0.0:
+            raise ValueError(
+                "fractional (smeared) occupations break the "
+                "occupied-virtual rotation parametrization of the "
+                "Newton solver; use scf_solver='diis' with smearing")
         self.jk_pool = jk_pool
         self.k_builder = k_builder
         if k_builder is not None and mode != "direct":
@@ -222,7 +269,16 @@ class RHF:
     # --- SCF loop -------------------------------------------------------------
 
     def run(self, D0: np.ndarray | None = None) -> SCFResult:
-        """Iterate to self-consistency and return the result."""
+        """Iterate to self-consistency and return the result.
+
+        ``scf_solver="diis"`` (the default) runs the bit-exact DIIS
+        reference loop below; ``"soscf"``/``"auto"`` dispatch to the
+        accelerated Newton path (:meth:`_run_soscf`), which agrees with
+        the reference energies to the convergence tolerance while
+        spending fewer Fock builds.
+        """
+        if self.scf_solver != "diis":
+            return self._run_soscf(D0)
         S, hcore = self._setup()
         nocc = self.mol.nelectron // 2
         if nocc == 0:
@@ -244,6 +300,7 @@ class RHF:
             for it in range(1, self.max_iter + 1):
                 with tr.span("scf.iteration", cat="scf", it=it):
                     J, K = self.build_jk(D)
+                    tr.count("scf.fock_builds", 1)
                     F = hcore + J - 0.5 * K
                     e_el = 0.5 * float(np.einsum("pq,pq->", D, hcore + F))
                     energy = e_el + enuc
@@ -272,6 +329,7 @@ class RHF:
         if tr.enabled:
             tr.metrics.set("scf.niter", it)
             tr.metrics.set("scf.converged", int(converged))
+            tr.metrics.set("scf.diis_fallbacks", diis.fallbacks)
         # canonicalize against the final Fock matrix: the loop's C/eps
         # lag one iteration behind (and are the bare core-guess values
         # when convergence hits on iteration 1)
@@ -283,6 +341,180 @@ class RHF:
             converged=converged, niter=it, C=C, eps=eps, D=D,
             F=hcore if it == 0 else F, S=S, hcore=hcore, basis=self.basis,
             exchange_energy=ex_energy, history=history,
+            solver="diis", fock_builds=it,
+        )
+
+
+    # --- accelerated (SOSCF) path --------------------------------------------
+
+    def _prepare_xc(self) -> None:
+        """Hook: build grid/XC machinery before Fock evaluation.
+
+        Hartree-Fock has no semilocal term; :class:`repro.scf.dft.RKS`
+        overrides this to build its Becke grid integrator.
+        """
+
+    def _soscf_fock_energy(self, hcore: np.ndarray, enuc: float):
+        """``fock_energy(D) -> (F, E_total, E_x)`` closure for SOSCF.
+
+        Same operations as one reference-loop iteration, so the Newton
+        path optimizes exactly the energy the DIIS path reports.
+        """
+        def fock_energy(D):
+            J, K = self.build_jk(D)
+            F = hcore + J - 0.5 * K
+            e_el = 0.5 * float(np.einsum("pq,pq->", D, hcore + F))
+            ex = -0.25 * float(np.einsum("pq,pq->", K, D))
+            return F, e_el + enuc, ex
+        return fock_energy
+
+    def _soscf_response(self):
+        """``response(d, D) -> J(d) - 0.5 K(d)`` closure for the Newton
+        micro-iterations (``D``, the base density, is unused for pure
+        Hartree-Fock — the Kohn-Sham override differentiates its grid
+        potential around it).
+
+        Perturbation densities never route through an external
+        ``k_builder`` — an :class:`~repro.hfx.IncrementalExchange`
+        history is anchored to the SCF density trajectory and a
+        response density would poison it — so direct mode always uses
+        the in-house builder (pool/batched kernel included).
+        """
+        def response(d, D=None):
+            if self.mode == "incore":
+                J, K = jk_from_tensor(self._eri, d)
+            else:
+                J, K = self._direct.build(d)
+            return J - 0.5 * K
+        return response
+
+    def _run_soscf(self, D0: np.ndarray | None = None) -> SCFResult:
+        """The accelerated convergence stack (``scf_solver != "diis"``).
+
+        Phase 1 (*rough*): ``"auto"`` runs plain DIIS iterations —
+        identical stabilizers (level shift, damping) to the reference
+        loop — until the commutator norm crosses the handoff threshold
+        or visibly stalls; ``"soscf"`` instead interpolates with
+        ADIIS/EDIIS, which tolerates far-from-converged starts.
+        Phase 2: trust-radius Newton micro-iterations
+        (:class:`repro.scf.soscf.NewtonSOSCF`) to the final tolerance.
+        """
+        from .soscf import ADIIS, DEFAULT_HANDOFF, EDIIS, NewtonSOSCF
+
+        S, hcore = self._setup()
+        self._prepare_xc()
+        nocc = self.mol.nelectron // 2
+        if nocc == 0:
+            raise ValueError("no electrons to correlate — check charge")
+        if D0 is None:
+            D, C, _ = core_guess(hcore, S, nocc)
+        else:
+            D, C = D0.copy(), None
+        X = orthogonalizer(S)
+        enuc = nuclear_repulsion(self.mol)
+        fock_energy = self._soscf_fock_energy(hcore, enuc)
+        tr = self.config.trace
+        auto = self.scf_solver == "auto"
+        diis = DIIS(self.diis_size)
+        rough = None if auto else \
+            (EDIIS if self.soscf_rough == "ediis" else ADIIS)(self.diis_size)
+        solver = NewtonSOSCF(fock_energy, self._soscf_response(), S, X,
+                             nocc, conv_tol=self.conv_tol, trace=tr)
+        if self.soscf_state is not None:
+            solver.set_state(self.soscf_state)
+        builds0, micro0 = solver.fock_builds, solver.micro_iters
+        energy = 0.0
+        ex_energy = 0.0
+        history: list[float] = []
+        err_hist: list[float] = []
+        converged = False
+        nrough = 0
+        rough_builds = 0
+        try:
+            # --- phase 1: rough convergence ------------------------------
+            max_rough = min(self.max_iter, 12)
+            F = None
+            fresh = False       # F/energy match the current D and C?
+            while nrough < max_rough:
+                nrough += 1
+                with tr.span("scf.iteration", cat="scf", it=nrough,
+                             phase="rough"):
+                    F, energy, ex_energy = fock_energy(D)
+                    fresh = True
+                    rough_builds += 1
+                    tr.count("scf.fock_builds", 1)
+                    history.append(energy)
+                    err = X.T @ (F @ D @ S - S @ D @ F) @ X
+                    err_norm = float(np.abs(err).max())
+                    err_hist.append(err_norm)
+                    # see run(): a supplied D0 can have a vanishing
+                    # commutator while being wrong for this geometry
+                    may_exit = D0 is None or nrough > 1
+                    if may_exit and err_norm < self.conv_tol:
+                        converged = True
+                        break
+                    if may_exit and err_norm < DEFAULT_HANDOFF:
+                        break                      # hand off to Newton
+                    if auto and rough is None and len(err_hist) >= 6 \
+                            and err_hist[-1] > 0.5 * err_hist[-4]:
+                        # DIIS is stalling.  Close to convergence the
+                        # Newton solver takes it from here; far out a
+                        # premature handoff can drop Newton into the
+                        # basin of a saddle (metastable SCF solution),
+                        # so the rough phase switches to ADIIS instead
+                        if err_norm < 10.0 * DEFAULT_HANDOFF:
+                            break
+                        rough = ADIIS(self.diis_size)
+                    with tr.span("scf.update", cat="scf"):
+                        if rough is None:
+                            diis.push(F, err)
+                            Fd = diis.extrapolate()
+                        else:
+                            rough.push(D, F, energy)
+                            Fd = rough.fock() if rough.nvec >= 2 else F
+                        D, C, _ = self._next_density(Fd, X, S, D, nocc)
+                        fresh = False
+            # --- phase 2: Newton macro/micro iterations ------------------
+            niter = nrough
+            if not converged:
+                # the rough phase's (F, E) pair is reusable when it
+                # still matches the orbitals: no update ran after the
+                # build, and no damping mixed D away from 2 C_o C_o^T
+                state = (F, energy, ex_energy) \
+                    if (fresh and C is not None and self.damping == 0.0) \
+                    else None
+                if C is None:
+                    # a supplied D0 carries no orbitals: canonicalize
+                    f = X.T @ F @ X
+                    _, Cp = np.linalg.eigh(f)
+                    C = X @ Cp
+                out = solver.solve(
+                    C, max_macro=max(self.max_iter - nrough, 1),
+                    history=history, state=state)
+                converged = out["converged"]
+                D, F = out["D"], out["F"]
+                energy, ex_energy = out["energy"], out["exchange_energy"]
+                niter = nrough + out["niter"]
+        finally:
+            # mirror run(): a pool this run spawned dies with the run
+            if self._direct is not None:
+                self._direct.close()
+        if tr.enabled:
+            tr.metrics.set("scf.niter", niter)
+            tr.metrics.set("scf.converged", int(converged))
+            tr.metrics.set("scf.diis_fallbacks", diis.fallbacks)
+        # canonicalize against the final Fock matrix (see run())
+        f = X.T @ F @ X
+        eps, Cp = np.linalg.eigh(f)
+        C = X @ Cp
+        return SCFResult(
+            energy=energy, energy_nuc=enuc, energy_electronic=energy - enuc,
+            converged=converged, niter=niter, C=C, eps=eps, D=D, F=F, S=S,
+            hcore=hcore, basis=self.basis, exchange_energy=ex_energy,
+            history=history, solver=self.scf_solver,
+            fock_builds=rough_builds + solver.fock_builds - builds0,
+            micro_iters=solver.micro_iters - micro0,
+            soscf_state=solver.get_state(),
         )
 
 
