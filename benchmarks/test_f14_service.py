@@ -1,0 +1,94 @@
+"""F14 — screening-service smoke: a 6-job mini-campaign under fire.
+
+The acceptance scenario for the high-throughput service layer: a mixed
+SCF/MD campaign (the shape of the paper's solvent screening, shrunk to
+container scale) is driven end-to-end through
+:class:`repro.service.CampaignService` with
+
+* one injected worker death (the job is retried, the campaign never
+  notices),
+* one duplicate spec (served from the content-addressed cache — zero
+  extra Fock builds),
+* MD preemption (trajectories run in time slices through the
+  checkpoint store and must finish bit-identical to an unsliced run).
+
+The quantity of interest is that all of this composes: 6/6 jobs
+complete, ``service.cache_hits`` >= 1, the retried job records exactly
+one extra attempt, and the preempted trajectory's final state matches
+the straight-through facade run float for float.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import api
+from repro.service import CampaignService, JobSpec
+
+pytestmark = pytest.mark.service
+
+MD_SPEC = JobSpec(kind="md", molecule="h2", steps=4, dt_fs=0.5,
+                  temperature=300.0, seed=2, label="md/s2")
+
+SPECS = [
+    JobSpec(kind="scf", molecule="h2", label="scf/h2"),
+    JobSpec(kind="scf", molecule="h2", basis="3-21g", label="victim"),
+    JobSpec(kind="scf", molecule="water", label="scf/water"),
+    JobSpec(kind="scf", molecule="h2", label="duplicate"),   # = job 0
+    MD_SPEC,
+    MD_SPEC.replace(seed=3, label="md/s3"),
+]
+
+
+def test_f14_service_campaign(tmp_path, report, monkeypatch):
+    svc = CampaignService(tmp_path / "campaign", preempt_steps=2)
+    jobs = [svc.submit(spec) for spec in SPECS]
+    victim = jobs[1]
+    monkeypatch.setenv("REPRO_SERVICE_FAULT", f"job={victim.id},times=1")
+
+    t0 = time.perf_counter()
+    rep = svc.run()
+    wall = time.perf_counter() - t0
+    counters = rep["counters"]
+
+    # every job completed despite the death, the duplicate, and slicing
+    assert rep["completed"] == len(SPECS) and rep["failed"] == 0
+
+    # the duplicate was served from the cache, byte for byte
+    assert counters["service.cache_hits"] >= 1
+    records = {r["label"]: r for r in svc.results()}
+    assert records["duplicate"]["cache_hit"] is True
+    assert records["duplicate"]["result"] == records["scf/h2"]["result"]
+
+    # the dead worker cost one retry, nothing else
+    assert counters["service.jobs_retried"] == 1
+    assert records["victim"]["attempts"] == 1
+    assert records["victim"]["status"] == "done"
+
+    # each 4-step trajectory was sliced at step 2 and resumed
+    assert counters["service.jobs_preempted"] >= 2
+    straight = api.run_md(MD_SPEC)
+    sliced = records["md/s2"]["result"]
+    assert sliced["final"]["coords"] == straight["final"]["coords"]
+    assert sliced["final"]["velocities"] == straight["final"]["velocities"]
+
+    # and the two MD seeds are two distinct cache entries
+    assert records["md/s2"]["key"] != records["md/s3"]["key"]
+
+    lines = [f"jobs                {rep['njobs']} submitted, "
+             f"{rep['completed']} completed, {rep['failed']} failed",
+             f"cache               {counters['service.cache_hits']} hit(s), "
+             f"{counters['service.cache_misses']} miss(es)",
+             f"faults              {counters['service.jobs_retried']} "
+             "injected death(s) retried",
+             f"preemptions         {counters['service.jobs_preempted']} "
+             "MD slice yield(s), resumed bit-identically",
+             f"t(campaign)         {wall:.2f} s  "
+             f"({wall / rep['njobs']:.2f} s/job)"]
+    per_job = [f"  job {r['job_id']}  {r['status']:<5} "
+               f"attempts={r['attempts']} "
+               f"{'cache ' if r['cache_hit'] else ''}{r['label']}"
+               for r in svc.results()]
+    report("\n".join(lines + ["jobs:"] + per_job))

@@ -19,10 +19,15 @@ md / liair
     lithium/air electrolyte degradation application.
 analysis
     Scaling-law fits, paper-style tables, ASCII figures.
+service / api
+    The high-throughput screening service (declarative job specs,
+    campaign scheduler, content-addressed result cache) and the stable
+    :mod:`repro.api` facade every consumer should call through.
 """
 
 from . import analysis, basis, chem, constants, hfx, integrals, liair
-from . import machine, md, runtime, scf
+from . import machine, md, runtime, scf, service
+from . import api
 
 __version__ = "1.0.0"
 
@@ -35,11 +40,13 @@ from .hfx import (HFXScheme, ReplicatedDynamicBaseline, build_tasklist,
                   water_box_workload, distributed_exchange)
 from .machine import bgq_racks, BGQConfig
 from .runtime import ExecutionConfig, Tracer
+from .service import JobSpec, CampaignService
 
 __all__ = [
-    "analysis", "basis", "chem", "constants", "hfx", "integrals", "liair",
-    "machine", "md", "runtime", "scf",
+    "analysis", "api", "basis", "chem", "constants", "hfx", "integrals",
+    "liair", "machine", "md", "runtime", "scf", "service",
     "Molecule", "builders", "build_basis", "run_rhf", "run_rks",
+    "JobSpec", "CampaignService",
     "HFXScheme", "ReplicatedDynamicBaseline", "build_tasklist",
     "water_box_workload", "distributed_exchange",
     "bgq_racks", "BGQConfig", "ExecutionConfig", "Tracer",

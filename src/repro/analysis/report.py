@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 __all__ = ["format_table", "print_table", "format_si", "format_seconds",
-           "profile_table"]
+           "profile_table", "campaign_table"]
 
 
 def format_si(x: float, digits: int = 3) -> str:
@@ -105,3 +105,34 @@ def profile_table(snapshot, title: str = "profile",
             note += f" (snapshot age {format_seconds(float(age))})"
         out += "\n" + note
     return out
+
+
+def campaign_table(records: Iterable[dict], title: str = "campaign") -> str:
+    """Paper-style summary of retired campaign job records.
+
+    One row per job record (the ``kind="job"`` envelopes a
+    :class:`repro.service.ResultsStore` holds): label, kind, status,
+    attempts, whether the cache served it, the headline observable
+    (SCF energy in hartree or final MD potential energy), and wall
+    time.  Failed jobs show their error class instead of a number.
+    """
+    rows = []
+    for rec in records:
+        spec = rec.get("spec", {})
+        result = rec.get("result") or {}
+        if rec.get("status") == "failed":
+            value = (rec.get("error") or "failed").split(":", 1)[0]
+        elif "scf" in result:
+            value = f"{result['scf']['energy']:.8f}"
+        elif "md" in result:
+            value = f"{result['md']['energy_pot_final']:.8f}"
+        else:
+            value = "-"
+        rows.append((rec.get("label", f"job-{rec.get('job_id', '?')}"),
+                     spec.get("kind", "?"), rec.get("status", "?"),
+                     rec.get("attempts", 0),
+                     "hit" if rec.get("cache_hit") else "",
+                     value, format_seconds(float(rec.get("wall_s", 0.0)))))
+    return format_table(
+        rows, ("job", "kind", "status", "attempts", "cache", "E/hartree",
+               "wall"), title=title)

@@ -7,10 +7,20 @@ scf         run an SCF (HF / LDA / PBE / PBE0 / UHF) on a built-in or
             XYZ geometry
 md          Born-Oppenheimer MD with crash-safe checkpoint/restart
             (``--checkpoint DIR`` / ``--restore [DIR]``)
+campaign    high-throughput screening campaigns: submit / run /
+            status / results against a durable campaign directory
 workload    generate a condensed-phase HFX workload and print its stats
 scale       strong-scaling sweep of the scheme (and optionally the
             legacy baseline) on BG/Q partitions
 liair       solvent-stability screening (peroxide attack profiles)
+
+``scf`` and ``md`` are thin shells over :mod:`repro.api` — they build
+a :class:`repro.service.JobSpec` from the flags and print the result
+envelope the facade returns; ``campaign`` drives
+:class:`repro.service.CampaignService` the same way.  The execution
+flags (``--executor``/``--nworkers``/``--kernel``/``--scf-solver``)
+and the observability flags (``--trace``/``--profile``/``--json``) are
+shared argparse parents, so every subcommand spells them identically.
 """
 
 from __future__ import annotations
@@ -37,47 +47,101 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _load_molecule(args):
-    from repro.chem import builders, read_xyz
+# --- JobSpec construction from flags ------------------------------------------
 
+
+def _spec_molecule(args):
+    """The JobSpec ``molecule`` field for the geometry flags: a builder
+    name, or an inline (exact-Bohr) dict for ``--xyz``."""
     if args.xyz:
-        return read_xyz(args.xyz, charge=args.charge,
-                        multiplicity=args.multiplicity)
+        from repro.chem import read_xyz
+
+        mol = read_xyz(args.xyz, charge=args.charge,
+                       multiplicity=args.multiplicity)
+        return {"symbols": list(mol.symbols),
+                "coords_bohr": [[float(x) for x in row]
+                                for row in mol.coords],
+                "charge": mol.charge, "multiplicity": mol.multiplicity,
+                "name": mol.name}
+    return args.molecule
+
+
+def _spec_from_args(args, kind: str):
+    """Build (and validate) the JobSpec the scf/md flags describe;
+    validation errors become clean CLI errors."""
+    from repro.service import JobSpec
+
+    common = dict(kind=kind, molecule=_spec_molecule(args),
+                  basis=args.basis, method=args.method,
+                  charge=args.charge, multiplicity=args.multiplicity,
+                  executor=args.executor, nworkers=args.nworkers,
+                  kernel=args.kernel, scf_solver=args.scf_solver)
+    if kind == "scf":
+        common["mode"] = args.mode
+    else:
+        common.update(steps=args.steps, dt_fs=args.dt,
+                      temperature=args.temperature,
+                      thermostat=args.thermostat, tau_fs=args.tau,
+                      seed=args.seed)
     try:
-        builder = getattr(builders, args.molecule)
-    except AttributeError:
-        raise SystemExit(f"unknown built-in molecule {args.molecule!r}; "
-                         f"see repro.chem.builders") from None
-    mol = builder()
-    if args.charge:
-        mol.charge = args.charge
-    if args.multiplicity != 1:
-        mol.multiplicity = args.multiplicity
-    return mol
+        return JobSpec(**common)
+    except ValueError as e:
+        raise SystemExit(f"error: {e}") from None
+
+
+def _resolve_or_die(spec):
+    try:
+        return spec.resolve_molecule()
+    except ValueError as e:
+        raise SystemExit(str(e)) from None
+
+
+def _pool_knobs():
+    """Validate the pool env knobs at the boundary, before any spawn."""
+    from repro.runtime.pool import (resolve_pool_max_retries,
+                                    resolve_pool_timeout)
+
+    try:
+        return resolve_pool_timeout(), resolve_pool_max_retries()
+    except ValueError as e:
+        raise SystemExit(f"error: {e}") from None
+
+
+def _emit_trace_and_profile(tracer, args, quiet, say, title) -> None:
+    """The shared ``--trace``/``--profile`` tail of scf and md."""
+    if tracer is None:
+        return
+    ndegraded = tracer.snapshot().counters.get("pool.degraded_builds", 0)
+    if ndegraded:
+        say(f"note: {ndegraded} build(s) degraded to the serial "
+            "executor after unrecoverable worker-pool failures "
+            "(see pool.* counters)")
+    if args.trace:
+        nspans = tracer.write_chrome_trace(args.trace)
+        print(f"trace: {nspans} spans -> {args.trace}",
+              file=sys.stderr if quiet else sys.stdout)
+    if args.profile and not quiet:
+        from repro.analysis.report import profile_table
+
+        print(profile_table(tracer.snapshot(), title=title))
 
 
 def _cmd_scf(args) -> int:
     import json
 
+    from repro import api
     from repro.runtime import ExecutionConfig, Tracer
-    from repro.runtime.pool import (default_nworkers,
-                                    resolve_pool_max_retries,
-                                    resolve_pool_timeout)
+    from repro.runtime.pool import default_nworkers
 
-    # validate the env knobs at the boundary, before any pool spawns
-    try:
-        pool_timeout = resolve_pool_timeout()
-        pool_max_retries = resolve_pool_max_retries()
-    except ValueError as e:
-        raise SystemExit(f"error: {e}") from None
-    mol = _load_molecule(args)
+    pool_timeout, pool_max_retries = _pool_knobs()
+    spec = _spec_from_args(args, kind="scf")
+    mol = _resolve_or_die(spec)
     quiet = args.json
     say = (lambda *a, **k: None) if quiet else print
     say(f"{mol.name or 'molecule'}: {mol.natom} atoms, "
         f"{mol.nelectron} electrons, charge {mol.charge}, "
         f"multiplicity {mol.multiplicity}")
-    if args.executor == "process" and (args.method != "hf"
-                                       or mol.multiplicity > 1):
+    if args.executor == "process" and mol.multiplicity > 1:
         raise SystemExit("--executor process is wired through the direct "
                          "RHF builder; use --method hf on a closed-shell "
                          "molecule")
@@ -93,68 +157,22 @@ def _cmd_scf(args) -> int:
                              kernel=args.kernel,
                              scf_solver=args.scf_solver,
                              tracer=tracer, profile=args.profile)
-    label = args.method.upper()
-    if args.method == "uhf" or mol.multiplicity > 1:
-        from repro.scf import run_uhf
-
-        # the UHF driver predates ExecutionConfig and is untraced
-        res = run_uhf(mol, basis=args.basis)
-        say(f"E(UHF/{args.basis}) = {res.energy:.8f} Ha  "
-            f"converged={res.converged} niter={res.niter}")
-        say(f"<S^2> = {res.s_squared():.4f}")
-        label = "UHF"
-    elif args.method == "hf":
-        from repro.scf import run_rhf
-
-        kwargs = {"config": config}
-        if config.executor == "process":
-            kwargs["mode"] = "direct"
-            say(f"executor: process pool, "
-                f"{config.nworkers or default_nworkers()} workers "
-                "(direct J/K builds)")
-        elif args.mode:
-            kwargs["mode"] = args.mode
-        res = run_rhf(mol, basis=args.basis, **kwargs)
-        say(f"E(RHF/{args.basis}) = {res.energy:.8f} Ha  "
-            f"converged={res.converged} niter={res.niter}")
-        say(f"E_x(exact) = {res.exchange_energy:.6f} Ha   "
-            f"gap = {res.homo_lumo_gap():.4f} Ha")
-        label = "RHF"
-    else:
-        from repro.scf.dft import run_rks
-
-        res = run_rks(mol, basis=args.basis, functional=args.method,
-                      config=config)
-        say(f"E({label}/{args.basis}) = "
-            f"{res.energy:.8f} Ha  converged={res.converged} "
-            f"niter={res.niter}")
-    if tracer is not None:
-        ndegraded = tracer.snapshot().counters.get("pool.degraded_builds", 0)
-        if ndegraded:
-            say(f"note: {ndegraded} build(s) degraded to the serial "
-                "executor after unrecoverable worker-pool failures "
-                "(see pool.* counters)")
-    if tracer is not None and args.trace:
-        nspans = tracer.write_chrome_trace(args.trace)
-        print(f"trace: {nspans} spans -> {args.trace}",
-              file=sys.stderr if quiet else sys.stdout)
-    if tracer is not None and args.profile and not quiet:
-        from repro.analysis.report import profile_table
-
-        print(profile_table(tracer.snapshot(),
-                            title=f"profile: {label}/{args.basis}"))
+    if config.executor == "process":
+        say(f"executor: process pool, "
+            f"{config.nworkers or default_nworkers()} workers "
+            "(direct J/K builds)")
+    out = api.run_scf(spec, config)
+    scf, label = out["scf"], out["method"]
+    say(f"E({label}/{args.basis}) = {scf['energy']:.8f} Ha  "
+        f"converged={scf['converged']} niter={scf['niter']}")
+    if label == "UHF":
+        say(f"<S^2> = {scf['s_squared']:.4f}")
+    elif label == "RHF":
+        say(f"E_x(exact) = {scf['exchange_energy']:.6f} Ha   "
+            f"gap = {scf['homo_lumo_gap']:.4f} Ha")
+    _emit_trace_and_profile(tracer, args, quiet, say,
+                            title=f"profile: {label}/{args.basis}")
     if quiet:
-        out = {
-            "molecule": {"name": mol.name, "natom": mol.natom,
-                         "nelectron": mol.nelectron, "charge": mol.charge,
-                         "multiplicity": mol.multiplicity},
-            "method": label, "basis": args.basis,
-            "scf": res.summary() if hasattr(res, "summary") else {
-                "energy": float(res.energy),
-                "converged": bool(res.converged),
-                "niter": int(res.niter),
-            },
-        }
         if tracer is not None:
             out["telemetry"] = tracer.snapshot().summary()
         print(json.dumps(out, indent=2, sort_keys=True))
@@ -164,24 +182,29 @@ def _cmd_scf(args) -> int:
 def _cmd_md(args) -> int:
     import json
 
-    from repro.md import temperature as kinetic_temperature
-    from repro.md.observables import energy_drift
+    from repro import api
     from repro.runtime import (CheckpointError, ExecutionConfig, Tracer,
-                               resolve_checkpoint_every,
-                               resolve_pool_max_retries,
-                               resolve_pool_timeout)
+                               resolve_checkpoint_every)
 
-    # validate every env/flag knob at the boundary, before anything runs
+    pool_timeout, pool_max_retries = _pool_knobs()
     try:
-        pool_timeout = resolve_pool_timeout()
-        pool_max_retries = resolve_pool_max_retries()
         checkpoint_every = resolve_checkpoint_every(args.checkpoint_every)
     except ValueError as e:
         raise SystemExit(f"error: {e}") from None
-    if args.restore is None and args.method != "hf" \
+    restore_from = None
+    if args.restore is not None:
+        restore_from = args.restore if isinstance(args.restore, str) \
+            else args.checkpoint
+        if restore_from is None:
+            raise SystemExit("error: --restore needs a directory (give "
+                             "one, or combine with --checkpoint DIR)")
+    elif args.thermostat != "none" and args.temperature is None:
+        raise SystemExit("error: a thermostat needs --temperature")
+    if restore_from is None and args.method != "hf" \
             and args.executor == "process":
         raise SystemExit("--executor process is wired through the direct "
                          "RHF builder; use --method hf")
+    spec = _spec_from_args(args, kind="md")
     quiet = args.json
     say = (lambda *a, **k: None) if quiet else print
     tracer = Tracer(name="md") if (args.trace or args.profile) else None
@@ -194,86 +217,157 @@ def _cmd_md(args) -> int:
                              checkpoint_dir=args.checkpoint,
                              checkpoint_every=checkpoint_every,
                              checkpoint_keep=args.checkpoint_keep)
-    from repro.md import BOMD
-
-    restored_from = None
-    if args.restore is not None:
-        restore_dir = args.restore if isinstance(args.restore, str) \
-            else args.checkpoint
-        if restore_dir is None:
-            raise SystemExit("error: --restore needs a directory (give "
-                             "one, or combine with --checkpoint DIR)")
-        try:
-            b = BOMD.restore(restore_dir, config=config)
-        except CheckpointError as e:
-            raise SystemExit(f"error: {e}") from None
-        restored_from = b.state.step
-        say(f"restored {b.mol.name or 'molecule'} trajectory from "
-            f"'{restore_dir}' at step {restored_from}")
-    else:
-        mol = _load_molecule(args)
-        thermostat = None
-        if args.thermostat != "none":
-            from repro.constants import fs_to_aut
-            from repro.md import BerendsenThermostat, CSVRThermostat
-
-            if args.temperature is None:
-                raise SystemExit("error: a thermostat needs --temperature")
-            tau = fs_to_aut(args.tau)
-            cls = {"csvr": CSVRThermostat,
-                   "berendsen": BerendsenThermostat}[args.thermostat]
-            kw = {"seed": args.seed} if args.thermostat == "csvr" else {}
-            thermostat = cls(T=args.temperature, tau=tau, **kw)
+    if restore_from is None:
+        mol = _resolve_or_die(spec)
         say(f"{mol.name or 'molecule'}: {mol.natom} atoms, "
             f"{args.method.upper()}/{args.basis}, dt = {args.dt} fs, "
             f"{args.steps} steps"
             + (f", {args.thermostat} thermostat at {args.temperature} K"
-               if thermostat is not None else ""))
-        b = BOMD(mol, method=args.method, basis=args.basis, dt_fs=args.dt,
-                 temperature=args.temperature, seed=args.seed,
-                 thermostat=thermostat, config=config)
+               if args.thermostat != "none" else ""))
         if args.checkpoint:
             say(f"checkpointing to '{args.checkpoint}' every "
                 f"{checkpoint_every} steps")
     try:
-        traj = b.run(args.steps)
-    finally:
-        if hasattr(b.engine, "close"):
-            b.engine.close()
-    masses = b.mol.masses
-    drift = energy_drift(traj, masses)
-    t_final = kinetic_temperature(masses, traj[-1].velocities)
-    say(f"steps {traj[0].step}..{traj[-1].step}  "
-        f"E_pot(final) = {traj[-1].energy_pot:.8f} Ha  "
-        f"T(final) = {t_final:.1f} K  drift = {drift:.3e}")
-    if tracer is not None:
-        ndegraded = tracer.snapshot().counters.get("pool.degraded_builds", 0)
-        if ndegraded:
-            say(f"note: {ndegraded} build(s) degraded to the serial "
-                "executor after unrecoverable worker-pool failures "
-                "(see pool.* counters)")
-    if tracer is not None and args.trace:
-        nspans = tracer.write_chrome_trace(args.trace)
-        print(f"trace: {nspans} spans -> {args.trace}",
-              file=sys.stderr if quiet else sys.stdout)
-    if tracer is not None and args.profile and not quiet:
-        from repro.analysis.report import profile_table
-
-        print(profile_table(tracer.snapshot(),
-                            title=f"profile: BOMD {b.method}/{b.basis}"))
+        out = api.run_md(spec, config,
+                         restore_from=restore_from if restore_from
+                         else False)
+    except CheckpointError as e:
+        raise SystemExit(f"error: {e}") from None
+    md = out["md"]
+    if restore_from is not None:
+        say(f"restored {out['molecule']['name'] or 'molecule'} trajectory "
+            f"from '{restore_from}' at step {md['restored_from']}")
+    say(f"steps {md['step_first']}..{md['step']}  "
+        f"E_pot(final) = {md['energy_pot_final']:.8f} Ha  "
+        f"T(final) = {md['temperature_final']:.1f} K  "
+        f"drift = {md['drift']:.3e}")
+    _emit_trace_and_profile(
+        tracer, args, quiet, say,
+        title=f"profile: BOMD {out['method']}/{out['basis']}")
     if quiet:
-        out = {
-            "molecule": {"name": b.mol.name, "natom": b.mol.natom},
-            "method": b.method, "basis": b.basis,
-            "md": {"steps": int(traj[-1].step), "dt_fs": b.dt_fs,
-                   "energy_pot_final": float(traj[-1].energy_pot),
-                   "temperature_final": float(t_final),
-                   "drift": float(drift),
-                   "restored_from": restored_from},
-        }
         if tracer is not None:
             out["telemetry"] = tracer.snapshot().summary()
         print(json.dumps(out, indent=2, sort_keys=True))
+    return 0
+
+
+# --- campaign -----------------------------------------------------------------
+
+
+def _campaign_service(args, config=None, **kw):
+    from repro.service import CampaignService
+
+    try:
+        return CampaignService(args.dir, config=config, **kw)
+    except ValueError as e:
+        raise SystemExit(f"error: {e}") from None
+
+
+def _campaign_specs(args) -> list:
+    """Specs named by ``campaign submit`` flags: JSON files and/or the
+    solvent-screening axis product."""
+    import json
+
+    from repro.service import JobSpec, solvent_screening_specs
+
+    specs = []
+    for path in args.spec or ():
+        try:
+            doc = json.loads(open(path).read())
+        except (OSError, ValueError) as e:
+            raise SystemExit(f"error: cannot read spec file "
+                             f"'{path}': {e}") from None
+        docs = doc if isinstance(doc, list) else [doc]
+        try:
+            specs.extend(JobSpec.from_dict(d) for d in docs)
+        except (TypeError, ValueError) as e:
+            raise SystemExit(f"error: bad spec in '{path}': {e}") from None
+    if args.screen:
+        overrides = dict(executor=args.executor, nworkers=args.nworkers,
+                         kernel=args.kernel, scf_solver=args.scf_solver)
+        if args.kind == "md":
+            overrides.update(steps=args.steps, dt_fs=args.dt)
+        try:
+            specs.extend(solvent_screening_specs(
+                solvents=tuple(args.solvents.split(",")),
+                methods=tuple(args.methods.split(",")),
+                basis=args.basis, nperturb=args.nperturb,
+                perturb=args.perturb,
+                seeds=tuple(int(s) for s in args.seeds.split(",")),
+                kind=args.kind, **overrides))
+        except (KeyError, ValueError) as e:
+            raise SystemExit(f"error: {e}") from None
+    if not specs:
+        raise SystemExit("error: nothing to submit (give --spec FILE "
+                         "and/or --screen)")
+    return specs
+
+
+def _cmd_campaign(args) -> int:
+    import json
+
+    if args.action == "submit":
+        svc = _campaign_service(args)
+        jobs = [svc.submit(spec) for spec in _campaign_specs(args)]
+        for job in jobs:
+            print(f"submitted job {job.id}  {job.spec.label or job.spec.kind}"
+                  f"  key={job.key[:12]}")
+        print(f"{len(jobs)} job(s) queued in '{args.dir}'")
+        return 0
+
+    if args.action == "run":
+        from repro.runtime import ExecutionConfig
+
+        pool_timeout, pool_max_retries = _pool_knobs()
+        config = ExecutionConfig(pool_timeout=pool_timeout,
+                                 pool_max_retries=pool_max_retries)
+        svc = _campaign_service(args, config=config,
+                                max_retries=args.max_retries,
+                                preempt_steps=args.preempt_steps)
+        report = svc.run(nworkers=args.lanes)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        for j in report["jobs"]:
+            line = f"job {j['id']:>3}  {j['status']:<7} {j['label']}"
+            if j["cache_hit"]:
+                line += "  [cache]"
+            if j["error"]:
+                line += f"  ({j['error']})"
+            print(line)
+        hits = report["counters"].get("service.cache_hits", 0)
+        print(f"campaign: {report['completed']}/{report['njobs']} "
+              f"completed, {report['failed']} failed, "
+              f"{hits} cache hit(s), {report['wall_s']:.2f}s")
+        return 0 if report["failed"] == 0 else 1
+
+    svc = _campaign_service(args)
+    if args.action == "status":
+        status = svc.status()
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        counts = ", ".join(f"{v} {k}" for k, v in
+                           status["by_status"].items()) or "empty"
+        print(f"campaign '{args.dir}': {status['njobs']} job(s) — {counts}")
+        for j in status["jobs"]:
+            print(f"job {j['id']:>3}  {j['status']:<7} {j['kind']:<3} "
+                  f"{j['label']}"
+                  + (f"  steps={j['steps_done']}" if j["kind"] == "md"
+                     else ""))
+        return 0
+
+    # results
+    records = svc.results()
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    from repro.analysis.report import campaign_table
+
+    if not records:
+        print("no retired jobs yet")
+        return 0
+    print(campaign_table(records, title=f"campaign '{args.dir}'"))
     return 0
 
 
@@ -368,6 +462,70 @@ def _positive_int(text: str) -> int:
     return n
 
 
+def _nonneg_int(text: str) -> int:
+    """argparse type: a non-negative integer with a clear error."""
+    try:
+        n = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}") from None
+    if n < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {n}")
+    return n
+
+
+# --- shared flag groups (argparse parents) ------------------------------------
+
+
+def _geometry_parent() -> argparse.ArgumentParser:
+    """``--xyz`` / ``--charge`` / ``--multiplicity``."""
+    g = argparse.ArgumentParser(add_help=False)
+    g.add_argument("--xyz", help="XYZ file instead of a built-in")
+    g.add_argument("--charge", type=int, default=0)
+    g.add_argument("--multiplicity", type=int, default=1)
+    return g
+
+
+def _execution_parent() -> argparse.ArgumentParser:
+    """The ExecutionConfig flags every computing subcommand shares."""
+    e = argparse.ArgumentParser(add_help=False)
+    e.add_argument("--executor", default="serial",
+                   choices=["serial", "process"],
+                   help="where direct J/K builds run: in-process or on a "
+                        "persistent local worker pool")
+    e.add_argument("--nworkers", type=_positive_int, default=None,
+                   help="worker count for --executor process "
+                        "(default: usable cores)")
+    e.add_argument("--kernel", default="quartet",
+                   choices=["quartet", "batched"],
+                   help="ERI evaluation granularity for direct builds: "
+                        "one shell quartet per call (reference) or whole "
+                        "L-class batches (faster, ~1e-13 agreement)")
+    e.add_argument("--scf-solver", default="diis",
+                   choices=["diis", "soscf", "auto"],
+                   help="SCF convergence strategy: Pulay DIIS (bit-exact "
+                        "reference), ADIIS+Newton (soscf), or DIIS with "
+                        "Newton handoff (auto) — the accelerated solvers "
+                        "agree to the convergence tolerance in fewer "
+                        "Fock builds (see scf.fock_builds in --profile)")
+    return e
+
+
+def _output_parent() -> argparse.ArgumentParser:
+    """``--trace`` / ``--profile`` / ``--json``."""
+    o = argparse.ArgumentParser(add_help=False)
+    o.add_argument("--trace", metavar="FILE",
+                   help="write a Chrome-trace JSON of the run "
+                        "(chrome://tracing / Perfetto)")
+    o.add_argument("--profile", action="store_true",
+                   help="print a per-span profile table after the run")
+    o.add_argument("--json", action="store_true",
+                   help="emit the result (and telemetry summary, when "
+                        "traced) as JSON on stdout")
+    return o
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     p = argparse.ArgumentParser(
@@ -375,59 +533,30 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Shedding Light on Lithium/Air "
                     "Batteries Using Millions of Threads' (IPDPS 2014)")
     sub = p.add_subparsers(dest="command", required=True)
+    geometry, execution, output = (_geometry_parent(), _execution_parent(),
+                                   _output_parent())
 
     sub.add_parser("info", help="package and machine overview") \
         .set_defaults(func=_cmd_info)
 
-    ps = sub.add_parser("scf", help="run an SCF calculation")
+    ps = sub.add_parser("scf", help="run an SCF calculation",
+                        parents=[geometry, execution, output])
     ps.add_argument("molecule", nargs="?", default="water",
                     help="built-in builder name (default: water)")
-    ps.add_argument("--xyz", help="XYZ file instead of a built-in")
     ps.add_argument("--method", default="hf",
                     choices=["hf", "uhf", "lda", "pbe", "pbe0"])
     ps.add_argument("--basis", default="sto-3g")
-    ps.add_argument("--charge", type=int, default=0)
-    ps.add_argument("--multiplicity", type=int, default=1)
     ps.add_argument("--mode", choices=["incore", "direct"],
                     help="J/K build style for --method hf "
                          "(default incore; process executor forces direct)")
-    ps.add_argument("--executor", default="serial",
-                    choices=["serial", "process"],
-                    help="where direct J/K builds run: in-process or on a "
-                         "persistent local worker pool")
-    ps.add_argument("--nworkers", type=_positive_int, default=None,
-                    help="worker count for --executor process "
-                         "(default: usable cores)")
-    ps.add_argument("--kernel", default="quartet",
-                    choices=["quartet", "batched"],
-                    help="ERI evaluation granularity for direct builds: "
-                         "one shell quartet per call (reference) or whole "
-                         "L-class batches (faster, ~1e-13 agreement)")
-    ps.add_argument("--scf-solver", default="diis",
-                    choices=["diis", "soscf", "auto"],
-                    help="SCF convergence strategy: Pulay DIIS (bit-exact "
-                         "reference), ADIIS+Newton (soscf), or DIIS with "
-                         "Newton handoff (auto) — the accelerated solvers "
-                         "agree to the convergence tolerance in fewer "
-                         "Fock builds (see scf.fock_builds in --profile)")
-    ps.add_argument("--trace", metavar="FILE",
-                    help="write a Chrome-trace JSON of the run "
-                         "(chrome://tracing / Perfetto)")
-    ps.add_argument("--profile", action="store_true",
-                    help="print a per-span profile table after the run")
-    ps.add_argument("--json", action="store_true",
-                    help="emit the result (and telemetry summary, when "
-                         "traced) as JSON on stdout")
     ps.set_defaults(func=_cmd_scf)
 
     pm = sub.add_parser("md", help="Born-Oppenheimer MD with "
-                                   "checkpoint/restart")
+                                   "checkpoint/restart",
+                        parents=[geometry, execution, output])
     pm.add_argument("molecule", nargs="?", default="h2",
                     help="built-in builder name (default: h2); ignored "
                          "with --restore")
-    pm.add_argument("--xyz", help="XYZ file instead of a built-in")
-    pm.add_argument("--charge", type=int, default=0)
-    pm.add_argument("--multiplicity", type=int, default=1)
     pm.add_argument("--method", default="hf",
                     choices=["hf", "lda", "pbe", "pbe0"])
     pm.add_argument("--basis", default="sto-3g")
@@ -446,18 +575,6 @@ def build_parser() -> argparse.ArgumentParser:
                     help="thermostat time constant in fs (default 50)")
     pm.add_argument("--seed", type=int, default=0,
                     help="velocity/thermostat RNG seed")
-    pm.add_argument("--executor", default="serial",
-                    choices=["serial", "process"],
-                    help="where the force SCFs' J/K builds run")
-    pm.add_argument("--nworkers", type=_positive_int, default=None,
-                    help="worker count for --executor process")
-    pm.add_argument("--kernel", default="quartet",
-                    choices=["quartet", "batched"])
-    pm.add_argument("--scf-solver", default="diis",
-                    choices=["diis", "soscf", "auto"],
-                    help="SCF convergence strategy for the force engine "
-                         "(soscf/auto warm-start each step's Newton solver "
-                         "and survive checkpoint/restore)")
     pm.add_argument("--checkpoint", metavar="DIR",
                     help="snapshot the trajectory into DIR (atomic, "
                          "checksummed, ring-pruned)")
@@ -471,14 +588,52 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--restore", nargs="?", const=True, metavar="DIR",
                     help="resume from the newest uncorrupted snapshot in "
                          "DIR (default: the --checkpoint directory)")
-    pm.add_argument("--trace", metavar="FILE",
-                    help="write a Chrome-trace JSON of the run")
-    pm.add_argument("--profile", action="store_true",
-                    help="print a per-span profile table (includes the "
-                         "restore provenance when resumed)")
-    pm.add_argument("--json", action="store_true",
-                    help="emit the result as JSON on stdout")
     pm.set_defaults(func=_cmd_md)
+
+    pg = sub.add_parser(
+        "campaign", help="high-throughput screening campaigns")
+    pg.add_argument("--dir", required=True, metavar="DIR",
+                    help="campaign directory (queue manifest, result "
+                         "cache, results store, MD checkpoints)")
+    gsub = pg.add_subparsers(dest="action", required=True)
+    gs = gsub.add_parser("submit", parents=[execution],
+                         help="queue spec files and/or the "
+                              "solvent-screening axis product")
+    gs.add_argument("--spec", action="append", metavar="FILE",
+                    help="JSON JobSpec (object or list; repeatable)")
+    gs.add_argument("--screen", action="store_true",
+                    help="generate the F7 screening set: solvents x "
+                         "methods x perturbed geometries x seeds")
+    gs.add_argument("--solvents", default="PC,DMSO,ACN")
+    gs.add_argument("--methods", default="hf")
+    gs.add_argument("--basis", default="sto-3g")
+    gs.add_argument("--nperturb", type=_positive_int, default=1,
+                    help="perturbed-geometry copies per solvent/method")
+    gs.add_argument("--perturb", type=float, default=0.02,
+                    help="coordinate jitter stddev in Bohr (default 0.02)")
+    gs.add_argument("--seeds", default="0",
+                    help="comma-separated MD seeds (kind=md only)")
+    gs.add_argument("--kind", default="scf", choices=["scf", "md"])
+    gs.add_argument("--steps", type=_positive_int, default=10,
+                    help="MD steps for --kind md")
+    gs.add_argument("--dt", type=float, default=0.5,
+                    help="MD timestep in fs for --kind md")
+    gr = gsub.add_parser("run", help="drain the queue")
+    gr.add_argument("--lanes", type=_positive_int, default=1,
+                    help="concurrent dispatch lanes (default 1)")
+    gr.add_argument("--preempt-steps", type=_positive_int, default=None,
+                    metavar="N",
+                    help="slice MD trajectories every N steps through "
+                         "the checkpoint store")
+    gr.add_argument("--max-retries", type=_nonneg_int, default=1,
+                    help="execution attempts per job beyond the first")
+    gr.add_argument("--json", action="store_true",
+                    help="emit the campaign report as JSON")
+    gt = gsub.add_parser("status", help="queue and counter overview")
+    gt.add_argument("--json", action="store_true")
+    gq = gsub.add_parser("results", help="retired job records")
+    gq.add_argument("--json", action="store_true")
+    pg.set_defaults(func=_cmd_campaign)
 
     pw = sub.add_parser("workload", help="generate an HFX workload")
     pw.add_argument("system", nargs="?", default="water",

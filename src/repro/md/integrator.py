@@ -70,6 +70,22 @@ class MDState:
         """Conserved quantity (potential + kinetic)."""
         return self.energy_pot + kinetic_energy(masses, self.velocities)
 
+    def summary(self) -> dict:
+        """Compact JSON-serializable surface (tables, CLI JSON).
+
+        A schema-versioned record (see :mod:`repro.runtime.schema`);
+        the full-precision arrays stay on :meth:`to_dict`, which is the
+        bit-preserving checkpoint surface, not the reporting one.
+        """
+        from ..runtime.schema import result_envelope
+
+        return result_envelope(
+            "md_state",
+            step=int(self.step),
+            energy_pot=float(self.energy_pot),
+            natom=int(len(self.coords)),
+        )
+
     def to_dict(self) -> dict:
         """Picklable snapshot of the dynamical state (checkpointing).
 

@@ -11,6 +11,8 @@ from .trace import Timer, Trace, TraceEvent
 from .telemetry import (Span, Tracer, NullTracer, NULL_TRACER,
                         MetricsRegistry, TelemetrySnapshot, chrome_trace)
 from .execconfig import ExecutionConfig, DEFAULT_EXECUTION, resolve_execution
+from .schema import (SCHEMA_VERSION, ENVELOPE_KEYS, result_envelope,
+                     check_envelope)
 from .checkpoint import (CheckpointError, CheckpointCorruptError,
                          CheckpointStore, Restartable, RestartableRNG,
                          SnapshotInfo, resolve_checkpoint_every)
@@ -26,6 +28,7 @@ __all__ = [
     "Span", "Tracer", "NullTracer", "NULL_TRACER",
     "MetricsRegistry", "TelemetrySnapshot", "chrome_trace",
     "ExecutionConfig", "DEFAULT_EXECUTION", "resolve_execution",
+    "SCHEMA_VERSION", "ENVELOPE_KEYS", "result_envelope", "check_envelope",
     "CheckpointError", "CheckpointCorruptError", "CheckpointStore",
     "Restartable", "RestartableRNG", "SnapshotInfo",
     "resolve_checkpoint_every",

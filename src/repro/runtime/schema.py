@@ -1,0 +1,90 @@
+"""One documented result schema for every ``summary()`` surface.
+
+Before the screening service existed, each result class grew its own
+ad-hoc ``summary()``/``to_dict()`` shape — fine for a CLI that prints
+one result and exits, fatal for a results store that must read records
+written by different subsystems (and, across upgrades, by different
+code versions).  This module pins the common envelope:
+
+* ``schema_version`` — integer, bumped on any breaking key change, so
+  the :class:`repro.service.ResultsStore` can evolve its readers;
+* ``kind`` — what produced the record (``"scf"``, ``"md"``,
+  ``"md_state"``, ``"schedule"``, ``"telemetry"``, ``"campaign"`` ...);
+* ``wall_s`` — wall seconds this record accounts for (simulated
+  results report their simulated makespan here and say so in their
+  payload);
+* ``counters`` — flat ``name -> number`` metrics namespace (the same
+  convention :class:`repro.runtime.telemetry.MetricsRegistry` uses).
+
+Producers call :func:`result_envelope` and add their payload keys on
+top; consumers call :func:`check_envelope` at the boundary instead of
+guessing at shapes deep inside a reader.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SCHEMA_VERSION", "ENVELOPE_KEYS", "result_envelope",
+           "check_envelope"]
+
+#: Current result-schema version.  Bump on any breaking change to the
+#: envelope keys or their meaning; additive payload keys do not bump.
+SCHEMA_VERSION = 1
+
+#: The keys every versioned result record carries.
+ENVELOPE_KEYS = ("schema_version", "kind", "wall_s", "counters")
+
+
+def result_envelope(kind: str, *, wall_s: float = 0.0,
+                    counters: dict | None = None, **payload) -> dict:
+    """A schema-versioned result record.
+
+    ``payload`` keys ride alongside the envelope keys (they must not
+    collide with :data:`ENVELOPE_KEYS`; that is a programming error and
+    raises immediately rather than silently clobbering the envelope).
+    """
+    if not kind:
+        raise ValueError("result_envelope: kind must be a non-empty string")
+    clash = set(payload) & set(ENVELOPE_KEYS)
+    if clash:
+        raise ValueError(
+            f"result_envelope: payload keys {sorted(clash)} collide with "
+            f"the envelope keys")
+    out = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": str(kind),
+        "wall_s": float(wall_s),
+        "counters": dict(counters) if counters else {},
+    }
+    out.update(payload)
+    return out
+
+
+def check_envelope(record: dict, kind: str | None = None) -> dict:
+    """Validate a record read back from a store (boundary check).
+
+    Raises :class:`ValueError` on a missing envelope, a
+    newer-than-known ``schema_version`` (never half-parse a future
+    format), or — when ``kind`` is given — a kind mismatch.  Returns
+    the record unchanged so readers can chain the call.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(
+            f"result record must be a dict, got {type(record).__name__}")
+    missing = [k for k in ENVELOPE_KEYS if k not in record]
+    if missing:
+        raise ValueError(
+            f"result record is missing envelope keys {missing} "
+            f"(pre-schema record, or not a result record at all)")
+    version = record["schema_version"]
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ValueError(
+            f"result record schema_version must be an integer, "
+            f"got {version!r}")
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"result record is schema v{version}, newer than this code "
+            f"(v{SCHEMA_VERSION}) — refusing to half-parse it")
+    if kind is not None and record["kind"] != kind:
+        raise ValueError(
+            f"expected a {kind!r} record, got {record['kind']!r}")
+    return record

@@ -188,18 +188,20 @@ class TelemetrySnapshot:
         ``wall_s`` is the traced root interval (sum of the top-level
         wall spans) — the denominator for per-span time shares.
         """
+        from .schema import result_envelope
+
         wall_s = sum(s.duration for s in self.spans
                      if s.clock == WALL and s.depth == 0)
-        return {
-            "name": self.name,
-            "nspans": len(self.spans),
-            "wall_s": wall_s,
-            "span_totals": {
+        return result_envelope(
+            "telemetry", wall_s=wall_s,
+            counters=dict(sorted(self.counters.items())),
+            name=self.name,
+            nspans=len(self.spans),
+            span_totals={
                 name: {"calls": calls, "total_s": total}
                 for name, (calls, total) in sorted(self.by_name().items())
             },
-            "counters": dict(sorted(self.counters.items())),
-        }
+        )
 
     def to_dict(self) -> dict:
         """Full JSON-serializable dump (every span, every counter)."""

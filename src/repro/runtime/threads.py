@@ -50,15 +50,23 @@ class ScheduleResult:
         return float((self.thread_times.max() - mean) / mean)
 
     def summary(self) -> dict:
-        """Compact scalar surface (tables, CLI JSON)."""
-        return {
-            "makespan": float(self.makespan),
-            "total_work": float(self.total_work),
-            "overhead": float(self.overhead),
-            "efficiency": float(self.efficiency),
-            "imbalance": float(self.imbalance),
-            "nthreads": int(len(self.thread_times)),
-        }
+        """Compact scalar surface (tables, CLI JSON).
+
+        A schema-versioned record (see :mod:`repro.runtime.schema`);
+        this is a *simulated* schedule, so ``wall_s`` carries the
+        simulated makespan (also present as ``makespan``).
+        """
+        from .schema import result_envelope
+
+        return result_envelope(
+            "schedule", wall_s=float(self.makespan),
+            makespan=float(self.makespan),
+            total_work=float(self.total_work),
+            overhead=float(self.overhead),
+            efficiency=float(self.efficiency),
+            imbalance=float(self.imbalance),
+            nthreads=int(len(self.thread_times)),
+        )
 
     def to_dict(self) -> dict:
         """Full JSON-serializable dump."""

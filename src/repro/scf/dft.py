@@ -7,6 +7,8 @@ quarter is what the parallel HFX scheme evaluates, while the semilocal
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..chem.molecule import Molecule, nuclear_repulsion
@@ -113,6 +115,7 @@ class RKS(RHF):
         """
         if self.scf_solver != "diis":
             return self._run_soscf(D0)
+        t0 = time.perf_counter()
         S, hcore = self._setup()
         a_hfx = self.functional.hfx_fraction
         pure_hf = self.functional.name.lower() == "hf"
@@ -182,6 +185,7 @@ class RKS(RHF):
             converged=converged, niter=it, C=C, eps=eps, D=D, F=F, S=S,
             hcore=hcore, basis=self.basis, exchange_energy=ex_energy,
             history=history, solver="diis", fock_builds=it,
+            wall_s=time.perf_counter() - t0,
         )
 
     # --- SOSCF hooks (see RHF._run_soscf) -------------------------------------

@@ -8,6 +8,7 @@ distributed one.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,6 +46,7 @@ class SCFResult:
     fock_builds: int = 0
     micro_iters: int = 0
     soscf_state: dict | None = None
+    wall_s: float = 0.0
 
     @property
     def nocc(self) -> int:
@@ -84,21 +86,34 @@ class SCFResult:
         return charges
 
     def summary(self) -> dict:
-        """Compact scalar surface (tables, CLI JSON) — no matrices."""
-        return {
-            "energy": float(self.energy),
-            "energy_nuc": float(self.energy_nuc),
-            "energy_electronic": float(self.energy_electronic),
-            "exchange_energy": float(self.exchange_energy),
-            "homo_lumo_gap": float(self.homo_lumo_gap()),
-            "converged": bool(self.converged),
-            "niter": int(self.niter),
-            "nbf": int(self.basis.nbf),
-            "nocc": int(self.nocc),
-            "solver": str(self.solver),
-            "fock_builds": int(self.fock_builds),
-            "micro_iters": int(self.micro_iters),
-        }
+        """Compact scalar surface (tables, CLI JSON) — no matrices.
+
+        A schema-versioned record (see :mod:`repro.runtime.schema`):
+        the envelope keys (``schema_version``/``kind``/``wall_s``/
+        ``counters``) plus the SCF payload.
+        """
+        from ..runtime.schema import result_envelope
+
+        return result_envelope(
+            "scf", wall_s=self.wall_s,
+            counters={
+                "scf.fock_builds": int(self.fock_builds),
+                "scf.micro_iters": int(self.micro_iters),
+                "scf.niter": int(self.niter),
+            },
+            energy=float(self.energy),
+            energy_nuc=float(self.energy_nuc),
+            energy_electronic=float(self.energy_electronic),
+            exchange_energy=float(self.exchange_energy),
+            homo_lumo_gap=float(self.homo_lumo_gap()),
+            converged=bool(self.converged),
+            niter=int(self.niter),
+            nbf=int(self.basis.nbf),
+            nocc=int(self.nocc),
+            solver=str(self.solver),
+            fock_builds=int(self.fock_builds),
+            micro_iters=int(self.micro_iters),
+        )
 
     def to_dict(self) -> dict:
         """Full JSON-serializable dump (adds per-iteration history and
@@ -279,6 +294,7 @@ class RHF:
         """
         if self.scf_solver != "diis":
             return self._run_soscf(D0)
+        t0 = time.perf_counter()
         S, hcore = self._setup()
         nocc = self.mol.nelectron // 2
         if nocc == 0:
@@ -342,6 +358,7 @@ class RHF:
             F=hcore if it == 0 else F, S=S, hcore=hcore, basis=self.basis,
             exchange_energy=ex_energy, history=history,
             solver="diis", fock_builds=it,
+            wall_s=time.perf_counter() - t0,
         )
 
 
@@ -401,6 +418,7 @@ class RHF:
         """
         from .soscf import ADIIS, DEFAULT_HANDOFF, EDIIS, NewtonSOSCF
 
+        t0 = time.perf_counter()
         S, hcore = self._setup()
         self._prepare_xc()
         nocc = self.mol.nelectron // 2
@@ -515,6 +533,7 @@ class RHF:
             fock_builds=rough_builds + solver.fock_builds - builds0,
             micro_iters=solver.micro_iters - micro0,
             soscf_state=solver.get_state(),
+            wall_s=time.perf_counter() - t0,
         )
 
 

@@ -1,0 +1,365 @@
+"""Declarative job specifications for the screening service.
+
+A :class:`JobSpec` is the unit of work the campaign runtime schedules:
+one SCF single point or one BOMD trajectory, described entirely by
+plain values (molecule, basis, method, kernel, thresholds, thermostat
+seed) so it can round-trip through JSON, be validated at the service
+boundary, and be hashed into a content address for the result cache.
+
+Two hashing rules matter for correctness:
+
+* the **canonical key** covers every field that determines the physics
+  of the result — the *resolved* geometry (builder + perturbation
+  applied), basis, method, kernel, thresholds, and for MD the full
+  integration setup including the thermostat seed — and nothing else;
+* **execution fields never enter the key**: executor, worker count,
+  and checkpoint placement change where and how fast a job runs, not
+  what it computes (the executors are bit-identical by construction),
+  so a serial rerun of a pool job is a cache hit.
+
+Float fields are canonicalized through their IEEE-754 value
+(``float.hex``), so ``0.5``, ``0.50``, and ``5e-1`` hash identically,
+and dict/JSON key order never matters (sorted-key serialization).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+
+import numpy as np
+
+from ..chem.molecule import Molecule
+
+__all__ = ["JobSpec", "solvent_screening_specs"]
+
+_KINDS = ("scf", "md")
+_SCF_METHODS = ("hf", "uhf", "lda", "pbe", "pbe0")
+_MD_METHODS = ("hf", "lda", "pbe", "pbe0")
+_THERMOSTATS = ("none", "csvr", "berendsen")
+
+#: Fields that never enter the canonical key (execution placement).
+_EXECUTION_FIELDS = ("executor", "nworkers", "label")
+
+#: Fields that only matter for (and are only hashed for) MD jobs.
+_MD_FIELDS = ("steps", "dt_fs", "temperature", "thermostat", "tau_fs",
+              "seed")
+
+
+def _canon(value):
+    """Canonicalize one value for hashing.
+
+    Floats hash by IEEE-754 value (formatting-independent); ints stay
+    ints (so a seed of 1 and a dt of 1.0 cannot alias); containers
+    recurse; dicts sort their keys.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return float(value).hex()
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value).hex()
+    if isinstance(value, str):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return [_canon(v) for v in value]
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for "
+                    f"the job hash: {value!r}")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One declarative unit of campaign work.
+
+    Parameters
+    ----------
+    kind:
+        ``"scf"`` (single point) or ``"md"`` (BOMD trajectory).
+    molecule:
+        A builder name from :mod:`repro.chem.builders` (``"water"``,
+        ``"dmso"``, ...) or an inline geometry dict with ``symbols``
+        and ``coords_angstrom`` (or exact ``coords_bohr``; optional
+        ``charge``/``multiplicity``/``name``).
+    basis / method:
+        Basis-set name and SCF method (``uhf`` is SCF-only).
+    charge / multiplicity:
+        Overrides applied to a *builder* molecule (an inline geometry
+        carries its own).
+    perturb / perturb_seed:
+        Gaussian coordinate jitter (standard deviation in Bohr, seeded)
+        applied to the resolved geometry — the screening campaigns'
+        "perturbed geometries" axis.  The jitter is applied before
+        hashing, so two specs with different ``perturb_seed`` are
+        different cache entries.
+    conv_tol / screen_eps / kernel / scf_solver / mode:
+        The accuracy and algorithm knobs that determine the result
+        (all part of the canonical key).  ``mode=None`` lets the
+        driver pick (incore for serial SCF, direct for pools).
+    steps / dt_fs / temperature / thermostat / tau_fs / seed:
+        MD-only integration setup; ``seed`` seeds both the initial
+        Maxwell-Boltzmann velocities and a CSVR thermostat stream.
+    executor / nworkers:
+        Execution placement — never hashed.
+    label:
+        Free-form display name — never hashed.
+    """
+
+    kind: str = "scf"
+    molecule: str | dict = "water"
+    basis: str = "sto-3g"
+    method: str = "hf"
+    charge: int = 0
+    multiplicity: int = 1
+    perturb: float = 0.0
+    perturb_seed: int = 0
+    conv_tol: float = 1e-8
+    screen_eps: float = 1e-10
+    kernel: str = "quartet"
+    scf_solver: str = "diis"
+    mode: str | None = None
+    # --- MD only ---
+    steps: int = 10
+    dt_fs: float = 0.5
+    temperature: float | None = None
+    thermostat: str = "none"
+    tau_fs: float = 50.0
+    seed: int = 0
+    # --- execution placement (never hashed) ---
+    executor: str = "serial"
+    nworkers: int | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # --- validation at the boundary ------------------------------------------
+
+    def validate(self) -> None:
+        """Reject a malformed spec with a message naming the field."""
+        if self.kind not in _KINDS:
+            raise ValueError(f"JobSpec.kind must be one of {_KINDS}, "
+                             f"got {self.kind!r}")
+        methods = _SCF_METHODS if self.kind == "scf" else _MD_METHODS
+        if self.method not in methods:
+            raise ValueError(
+                f"JobSpec.method must be one of {methods} for "
+                f"kind={self.kind!r}, got {self.method!r}")
+        if not isinstance(self.molecule, (str, dict)) or not self.molecule:
+            raise ValueError(
+                "JobSpec.molecule must be a builder name or an inline "
+                f"geometry dict, got {self.molecule!r}")
+        if isinstance(self.molecule, dict):
+            if "symbols" not in self.molecule or not (
+                    "coords_angstrom" in self.molecule
+                    or "coords_bohr" in self.molecule):
+                raise ValueError(
+                    "inline JobSpec.molecule needs 'symbols' plus "
+                    "'coords_angstrom' or 'coords_bohr'")
+        if self.kernel not in ("quartet", "batched"):
+            raise ValueError(f"JobSpec.kernel must be 'quartet' or "
+                             f"'batched', got {self.kernel!r}")
+        if self.scf_solver not in ("diis", "soscf", "auto"):
+            raise ValueError(
+                f"JobSpec.scf_solver must be 'diis', 'soscf', or "
+                f"'auto', got {self.scf_solver!r}")
+        if self.mode not in (None, "incore", "direct"):
+            raise ValueError(f"JobSpec.mode must be None, 'incore', or "
+                             f"'direct', got {self.mode!r}")
+        if self.executor not in ("serial", "process"):
+            raise ValueError(f"JobSpec.executor must be 'serial' or "
+                             f"'process', got {self.executor!r}")
+        if self.thermostat not in _THERMOSTATS:
+            raise ValueError(
+                f"JobSpec.thermostat must be one of {_THERMOSTATS}, "
+                f"got {self.thermostat!r}")
+        for name, positive in (("conv_tol", True), ("screen_eps", True),
+                               ("dt_fs", True), ("tau_fs", True),
+                               ("perturb", False)):
+            v = getattr(self, name)
+            try:
+                bad = float(v) < 0 or (positive and float(v) <= 0)
+            except (TypeError, ValueError):
+                bad = True
+            if bad:
+                raise ValueError(f"JobSpec.{name} must be a "
+                                 f"{'positive' if positive else 'non-negative'}"
+                                 f" number, got {v!r}")
+        if self.kind == "md":
+            if isinstance(self.steps, bool) or \
+                    not isinstance(self.steps, int) or self.steps < 1:
+                raise ValueError(f"JobSpec.steps must be a positive "
+                                 f"integer, got {self.steps!r}")
+            if self.thermostat != "none" and self.temperature is None:
+                raise ValueError("JobSpec: a thermostat needs a "
+                                 "temperature")
+        if self.executor == "process":
+            if self.method != "hf":
+                raise ValueError(
+                    "JobSpec: executor='process' is wired through the "
+                    "direct RHF builder; use method='hf'")
+            if self.mode == "incore":
+                raise ValueError("JobSpec: executor='process' requires "
+                                 "direct J/K builds, not mode='incore'")
+        if self.scf_solver != "diis" and \
+                (self.method == "uhf" or self.multiplicity > 1):
+            raise ValueError(
+                "JobSpec: scf_solver='soscf'/'auto' is wired through "
+                "the closed-shell drivers; the UHF path is DIIS-only")
+
+    # --- molecule resolution --------------------------------------------------
+
+    def resolve_molecule(self) -> Molecule:
+        """The concrete (possibly perturbed) geometry this spec names."""
+        if isinstance(self.molecule, dict):
+            m = self.molecule
+            kw = dict(charge=int(m.get("charge", 0)),
+                      multiplicity=int(m.get("multiplicity", 1)),
+                      name=str(m.get("name", "")))
+            if "coords_bohr" in m:
+                from ..chem.elements import element
+
+                numbers = [element(s).z for s in m["symbols"]]
+                mol = Molecule(np.asarray(numbers),
+                               np.asarray(m["coords_bohr"],
+                                          dtype=np.float64), **kw)
+            else:
+                mol = Molecule.from_symbols(
+                    list(m["symbols"]), m["coords_angstrom"], **kw)
+        else:
+            from ..chem import builders
+
+            try:
+                builder = getattr(builders, self.molecule)
+            except AttributeError:
+                raise ValueError(
+                    f"unknown built-in molecule {self.molecule!r}; "
+                    f"see repro.chem.builders") from None
+            mol = builder()
+            if self.charge:
+                mol.charge = self.charge
+            if self.multiplicity != 1:
+                mol.multiplicity = self.multiplicity
+        if self.perturb > 0.0:
+            rng = np.random.default_rng(self.perturb_seed)
+            jitter = rng.normal(scale=self.perturb,
+                                size=mol.coords.shape)
+            mol = mol.with_coords(mol.coords + jitter)
+        return mol
+
+    # --- JSON round-trip ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form; :meth:`from_dict` round-trips it."""
+        out = {}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if isinstance(v, dict):
+                v = dict(v)
+            out[f.name] = v
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobSpec":
+        """Rebuild (and re-validate) a spec from :meth:`to_dict` or any
+        hand-written JSON object; unknown keys are an error, not a
+        silent drop."""
+        if not isinstance(d, dict):
+            raise ValueError(
+                f"JobSpec.from_dict needs a dict, got {type(d).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(d) - known)
+        if unknown:
+            raise ValueError(f"JobSpec has no field(s) {unknown} — "
+                            f"typo in the spec JSON?")
+        return cls(**d)
+
+    def to_json(self) -> str:
+        """Compact JSON text of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        """Parse :meth:`to_json` (or hand-written) spec text."""
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes) -> "JobSpec":
+        """A copy with the given fields changed (re-validated)."""
+        return replace(self, **changes)
+
+    # --- content address ------------------------------------------------------
+
+    def canonical_key(self) -> str:
+        """SHA-256 content address of the result this spec determines.
+
+        Covers the resolved geometry (atomic numbers, exact Bohr
+        coordinates, charge, multiplicity) and every physics/algorithm
+        knob; for SCF jobs the MD fields are excluded (so an MD spec's
+        warm-up single point can never alias a trajectory), and the
+        execution-placement fields are always excluded.  Stable across
+        dict-key order and float formatting by construction.
+        """
+        mol = self.resolve_molecule()
+        payload = {
+            "kind": self.kind,
+            "geometry": {
+                "numbers": _canon(mol.numbers),
+                "coords_bohr": _canon(mol.coords),
+                "charge": int(mol.charge),
+                "multiplicity": int(mol.multiplicity),
+            },
+            "basis": self.basis,
+            "method": self.method,
+            "kernel": self.kernel,
+            "scf_solver": self.scf_solver,
+            "mode": self.mode,
+            "conv_tol": _canon(self.conv_tol),
+            "screen_eps": _canon(self.screen_eps),
+        }
+        if self.kind == "md":
+            for name in _MD_FIELDS:
+                payload[name] = _canon(getattr(self, name))
+        blob = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+def solvent_screening_specs(solvents=("PC", "DMSO", "ACN"),
+                            methods=("hf",), basis: str = "sto-3g",
+                            nperturb: int = 1, perturb: float = 0.0,
+                            seeds=(0,), kind: str = "scf",
+                            **overrides) -> list[JobSpec]:
+    """The F7 campaign axis product: solvents x methods x perturbed
+    geometries x seeds.
+
+    Each solvent contributes its quantum model fragment (the geometry
+    the attack profiles use); ``nperturb`` > 1 adds seeded coordinate
+    jitters of width ``perturb`` Bohr; for ``kind="md"`` the ``seeds``
+    axis varies the thermostat/velocity seed (distinct cache entries by
+    construction).  Extra keyword arguments pass through to every
+    :class:`JobSpec`.
+    """
+    from ..liair.solvents import get_solvent
+
+    builder_names = {"PC": "carbonate_model", "DMSO": "sulfoxide_model",
+                     "ACN": "nitrile_model"}
+    specs = []
+    for sv in solvents:
+        solvent = get_solvent(sv)          # validates the name
+        mol_name = builder_names[solvent.name]
+        for method in methods:
+            for ip in range(max(1, int(nperturb))):
+                for seed in (seeds if kind == "md" else seeds[:1]):
+                    specs.append(JobSpec(
+                        kind=kind, molecule=mol_name, basis=basis,
+                        method=method,
+                        perturb=perturb if ip else 0.0, perturb_seed=ip,
+                        seed=int(seed),
+                        label=f"{solvent.name}/{method}"
+                              f"/p{ip}/s{seed}",
+                        **overrides))
+    return specs

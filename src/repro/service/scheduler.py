@@ -1,0 +1,445 @@
+"""The campaign runtime: queue, scheduler, fault isolation, preemption.
+
+This is the "millions of users" layer the ROADMAP names: it promotes
+the one-shot CLI into a long-running screening service.  A
+:class:`CampaignService` owns
+
+* a **job queue** of validated :class:`~repro.service.JobSpec`\\ s
+  (``submit`` returns immediately; ``run`` drains),
+* a **scheduler** that shards pending jobs across ``nworkers``
+  dispatch lanes — each lane runs jobs through the one public
+  :mod:`repro.api` entrypoint, and a job that uses
+  ``executor="process"`` gets its own persistent worker pool
+  underneath (PR 4's fault-tolerant pool),
+* **per-job fault isolation**: an exception (a dead pool, a diverged
+  SCF, an injected worker death) fails *that job* after its retry
+  budget — never the campaign,
+* **checkpoint-based preemption** for MD jobs: with
+  ``preempt_steps=n`` a trajectory runs in n-step slices through the
+  PR 5 snapshot store and re-enters the queue between slices, resuming
+  bit-identically — the scheduler can interleave long trajectories
+  with cheap single points,
+* a **content-addressed result cache** (duplicate or resubmitted specs
+  are served for free) and a **JSON results store** the analysis layer
+  reads back.
+
+Telemetry: ``service.jobs_submitted`` / ``_completed`` / ``_failed`` /
+``_retried`` / ``_preempted``, ``service.cache_hits`` /
+``service.cache_misses`` — accumulated on the service's own metrics
+registry and mirrored into the campaign tracer when one is attached.
+
+Deterministic fault injection (tests/benchmarks only):
+``REPRO_SERVICE_FAULT="job=N[,times=K]"`` makes the first ``K``
+execution attempts of job ``N`` die with :class:`InjectedWorkerDeath`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..runtime.execconfig import ExecutionConfig, resolve_execution
+from ..runtime.schema import check_envelope, result_envelope
+from ..runtime.telemetry import MetricsRegistry
+from .cache import ResultCache
+from .jobspec import JobSpec
+from .store import ResultsStore
+
+__all__ = ["Job", "CampaignService", "InjectedWorkerDeath",
+           "DEFAULT_MAX_RETRIES"]
+
+#: Execution attempts a job gets beyond its first (per-job isolation:
+#: exhausting the budget fails the job, never the campaign).
+DEFAULT_MAX_RETRIES = 1
+
+_FAULT_RE = re.compile(r"^job=(\d+)(?:,times=(\d+))?$")
+
+_JOB_STATUSES = ("pending", "running", "done", "failed")
+
+
+class InjectedWorkerDeath(RuntimeError):
+    """Deterministic test fault: a job's execution lane 'died'."""
+
+
+def _parse_service_fault(spec: str | None) -> dict[int, int]:
+    """``REPRO_SERVICE_FAULT`` -> ``{job_id: remaining_deaths}``."""
+    if not spec:
+        return {}
+    m = _FAULT_RE.match(spec.strip())
+    if not m:
+        raise ValueError(
+            f"REPRO_SERVICE_FAULT must look like 'job=N[,times=K]', "
+            f"got {spec!r}")
+    return {int(m.group(1)): int(m.group(2) or 1)}
+
+
+@dataclass
+class Job:
+    """One queued unit of work and its lifecycle bookkeeping."""
+
+    id: int
+    spec: JobSpec
+    key: str
+    status: str = "pending"
+    attempts: int = 0
+    cache_hit: bool = False
+    error: str | None = None
+    steps_done: int = 0
+    wall_s: float = 0.0
+    result: dict | None = field(default=None, repr=False)
+
+    def record(self) -> dict:
+        """Schema-versioned job record (manifest / results store)."""
+        return result_envelope(
+            "job", wall_s=self.wall_s,
+            job_id=self.id, label=self.spec.label or f"job-{self.id}",
+            key=self.key, status=self.status, attempts=self.attempts,
+            cache_hit=bool(self.cache_hit), error=self.error,
+            steps_done=int(self.steps_done), spec=self.spec.to_dict(),
+            result=self.result,
+        )
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Job":
+        """Rebuild a job from a manifest record (crash-interrupted
+        ``running`` jobs rejoin the queue as ``pending``)."""
+        check_envelope(record, kind="job")
+        status = record["status"]
+        if status not in _JOB_STATUSES:
+            raise ValueError(f"job record has unknown status {status!r}")
+        if status == "running":
+            status = "pending"
+        return cls(id=int(record["job_id"]),
+                   spec=JobSpec.from_dict(record["spec"]),
+                   key=str(record["key"]), status=status,
+                   attempts=int(record["attempts"]),
+                   cache_hit=bool(record["cache_hit"]),
+                   error=record.get("error"),
+                   steps_done=int(record.get("steps_done", 0)),
+                   wall_s=float(record.get("wall_s", 0.0)),
+                   result=record.get("result"))
+
+
+class CampaignService:
+    """Long-running screening campaign runtime.
+
+    Parameters
+    ----------
+    directory:
+        Campaign home.  When given, the queue manifest
+        (``campaign.json``), the result cache (``cache/``), the results
+        store (``results/``), and MD preemption checkpoints
+        (``ckpt/job-NNNNN/``) all live under it, and a new service on
+        the same directory resumes the existing campaign.  ``None``
+        runs fully in memory (no preemption — slicing needs the
+        snapshot store).
+    config:
+        Base :class:`~repro.runtime.ExecutionConfig` for every job;
+        each spec's execution fields (executor/nworkers/kernel/
+        scf_solver) override their base values per job.  The tracer
+        (if any) receives the ``service.*`` counters; it is only
+        threaded into the jobs themselves on single-lane runs (the
+        span tracer is not thread-safe).
+    max_retries:
+        Execution attempts each job gets beyond its first.
+    preempt_steps:
+        MD time-slice in steps: a trajectory yields the lane and
+        re-enters the queue every ``preempt_steps`` steps (requires
+        ``directory``).  ``None`` runs trajectories to completion.
+    """
+
+    def __init__(self, directory=None, config: ExecutionConfig | None = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 preempt_steps: int | None = None):
+        if isinstance(max_retries, bool) or not isinstance(max_retries, int) \
+                or max_retries < 0:
+            raise ValueError(f"max_retries must be a non-negative integer, "
+                             f"got {max_retries!r}")
+        if preempt_steps is not None:
+            if isinstance(preempt_steps, bool) or \
+                    not isinstance(preempt_steps, int) or preempt_steps < 1:
+                raise ValueError(f"preempt_steps must be a positive integer, "
+                                 f"got {preempt_steps!r}")
+            if directory is None:
+                raise ValueError(
+                    "preempt_steps needs a campaign directory — MD "
+                    "time-slicing rides on the checkpoint store")
+        self.directory = Path(directory) if directory is not None else None
+        self.config = resolve_execution(config, owner="CampaignService")
+        self.max_retries = max_retries
+        self.preempt_steps = preempt_steps
+        self.jobs: dict[int, Job] = {}
+        self._next_id = 0
+        self.metrics = MetricsRegistry()
+        self.cache = ResultCache(self.directory / "cache"
+                                 if self.directory else None)
+        self.store = ResultsStore(self.directory) if self.directory else None
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._inflight: set[str] = set()
+        self._fault_budget: dict[int, int] = {}
+        if self.directory is not None:
+            self._load()
+
+    # --- counters -------------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        """Bump a service counter (and mirror it into the tracer)."""
+        with self._lock:
+            self.metrics.count(name, n)
+        tr = self.config.trace
+        if tr.enabled:
+            tr.metrics.count(name, n)
+
+    # --- persistence ----------------------------------------------------------
+
+    def _manifest_path(self) -> Path:
+        return self.directory / "campaign.json"
+
+    def _save(self) -> None:
+        if self.directory is None:
+            return
+        with self._lock:
+            manifest = result_envelope(
+                "campaign",
+                counters=self.metrics.to_dict(),
+                next_id=self._next_id,
+                jobs=[self.jobs[i].record() for i in sorted(self.jobs)],
+            )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._manifest_path()
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(manifest, sort_keys=True))
+        os.replace(tmp, path)
+
+    def _load(self) -> None:
+        path = self._manifest_path()
+        if not path.is_file():
+            return
+        manifest = check_envelope(json.loads(path.read_text()),
+                                  kind="campaign")
+        self.jobs = {}
+        for record in manifest.get("jobs", ()):
+            job = Job.from_record(record)
+            self.jobs[job.id] = job
+        self._next_id = int(manifest.get("next_id", len(self.jobs)))
+        self.metrics.set_state(manifest.get("counters", {}))
+
+    # --- queue API ------------------------------------------------------------
+
+    def submit(self, spec: JobSpec | dict) -> Job:
+        """Validate and enqueue one spec; returns its :class:`Job`.
+
+        Duplicate specs are accepted — the second one is served from
+        the content-addressed cache at dispatch time, not rejected at
+        the boundary (a duplicate is a legitimate query, and "free" is
+        the service's answer to it).
+        """
+        if isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        elif not isinstance(spec, JobSpec):
+            raise TypeError(
+                f"submit needs a JobSpec or a spec dict, "
+                f"got {type(spec).__name__}")
+        key = spec.canonical_key()
+        with self._lock:
+            job = Job(id=self._next_id, spec=spec, key=key)
+            self._next_id += 1
+            self.jobs[job.id] = job
+        self._count("service.jobs_submitted")
+        self._save()
+        return job
+
+    def status(self) -> dict:
+        """Queue counts and counters (schema envelope)."""
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for job in self.jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return result_envelope(
+                "campaign_status",
+                counters=self.metrics.to_dict(),
+                njobs=len(self.jobs),
+                by_status=dict(sorted(by_status.items())),
+                jobs=[{"id": j.id, "label": j.spec.label or f"job-{j.id}",
+                       "kind": j.spec.kind, "status": j.status,
+                       "attempts": j.attempts, "cache_hit": j.cache_hit,
+                       "steps_done": j.steps_done, "error": j.error}
+                      for _, j in sorted(self.jobs.items())],
+            )
+
+    def results(self) -> list[dict]:
+        """Every retired job record (store-backed when durable)."""
+        if self.store is not None:
+            return self.store.read_all()
+        with self._lock:
+            return [self.jobs[i].record() for i in sorted(self.jobs)
+                    if self.jobs[i].status in ("done", "failed")]
+
+    # --- scheduler ------------------------------------------------------------
+
+    def run(self, nworkers: int = 1) -> dict:
+        """Drain the queue across ``nworkers`` dispatch lanes.
+
+        Returns a campaign report envelope (job outcomes + ``service.*``
+        counters).  Safe to call again after further ``submit``\\ s.
+        """
+        if isinstance(nworkers, bool) or not isinstance(nworkers, int) \
+                or nworkers < 1:
+            raise ValueError(f"nworkers must be a positive integer, "
+                             f"got {nworkers!r}")
+        self._fault_budget = _parse_service_fault(
+            os.environ.get("REPRO_SERVICE_FAULT"))
+        t0 = time.perf_counter()
+        if nworkers == 1:
+            self._lane(self.config)
+        else:
+            # the span tracer is not thread-safe: lanes beyond the
+            # first run their jobs untraced (counters still accumulate
+            # on the service registry, which is lock-guarded)
+            lane_cfg = self.config.replace(tracer=None)
+            threads = [threading.Thread(target=self._lane, args=(lane_cfg,),
+                                        name=f"campaign-lane-{i}")
+                       for i in range(nworkers)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        self._save()
+        with self._lock:
+            jobs = [self.jobs[i] for i in sorted(self.jobs)]
+            return result_envelope(
+                "campaign_report",
+                wall_s=time.perf_counter() - t0,
+                counters=self.metrics.to_dict(),
+                njobs=len(jobs),
+                completed=sum(j.status == "done" for j in jobs),
+                failed=sum(j.status == "failed" for j in jobs),
+                jobs=[{"id": j.id,
+                       "label": j.spec.label or f"job-{j.id}",
+                       "status": j.status, "cache_hit": j.cache_hit,
+                       "attempts": j.attempts, "error": j.error}
+                      for j in jobs],
+            )
+
+    def _claim(self) -> Job | None:
+        """Next runnable pending job, or ``None`` when drained.
+
+        A pending job whose key is currently in flight on another lane
+        is deferred (its twin's result will serve it from the cache);
+        the lane blocks while other lanes still run — their failures or
+        completions can unblock deferred work.
+        """
+        with self._cond:
+            while True:
+                running = False
+                for jid in sorted(self.jobs):
+                    job = self.jobs[jid]
+                    if job.status == "running":
+                        running = True
+                    if job.status == "pending" and \
+                            job.key not in self._inflight:
+                        job.status = "running"
+                        self._inflight.add(job.key)
+                        return job
+                if not running:
+                    return None
+                self._cond.wait(timeout=0.2)
+
+    def _lane(self, config: ExecutionConfig) -> None:
+        """One dispatch lane: claim, run, retire, repeat."""
+        while True:
+            job = self._claim()
+            if job is None:
+                return
+            self._run_one(job, config)
+            with self._cond:
+                self._inflight.discard(job.key)
+                self._cond.notify_all()
+            self._save()
+
+    # --- per-job execution ----------------------------------------------------
+
+    def _job_config(self, job: Job, config: ExecutionConfig
+                    ) -> ExecutionConfig:
+        spec = job.spec
+        cfg = config.replace(executor=spec.executor,
+                             nworkers=spec.nworkers,
+                             kernel=spec.kernel,
+                             scf_solver=spec.scf_solver,
+                             checkpoint_dir=None)
+        if spec.kind == "md" and self.directory is not None:
+            cfg = cfg.replace(
+                checkpoint_dir=str(self.directory / "ckpt"
+                                   / f"job-{job.id:05d}"))
+        return cfg
+
+    def _execute(self, job: Job, config: ExecutionConfig) -> dict:
+        """One execution attempt (the fault-isolation boundary)."""
+        remaining = self._fault_budget.get(job.id, 0)
+        if remaining > 0:
+            self._fault_budget[job.id] = remaining - 1
+            raise InjectedWorkerDeath(
+                f"injected worker death on job {job.id} "
+                f"(REPRO_SERVICE_FAULT)")
+        from .. import api
+
+        until = None
+        if job.spec.kind == "md" and self.preempt_steps is not None:
+            until = min(job.spec.steps,
+                        job.steps_done + self.preempt_steps)
+        return api.run_job(job.spec, config=self._job_config(job, config),
+                           until_step=until)
+
+    def _run_one(self, job: Job, config: ExecutionConfig) -> None:
+        """Serve one claimed job: cache, execute, retire (or requeue)."""
+        t0 = time.perf_counter()
+        try:
+            cached = self.cache.get(job.key)
+            if cached is not None:
+                job.result = cached
+                job.cache_hit = True
+                job.status = "done"
+                job.wall_s += time.perf_counter() - t0
+                self._count("service.cache_hits")
+                self._count("service.jobs_completed")
+                self._retire(job)
+                return
+            result = self._execute(job, config)
+        except Exception as e:      # per-job isolation: never the campaign
+            job.wall_s += time.perf_counter() - t0
+            job.attempts += 1
+            if job.attempts <= self.max_retries:
+                job.status = "pending"
+                self._count("service.jobs_retried")
+                return
+            job.status = "failed"
+            job.error = f"{type(e).__name__}: {e}"
+            self._count("service.jobs_failed")
+            self._retire(job)
+            return
+        job.wall_s += time.perf_counter() - t0
+        if job.spec.kind == "md":
+            step = int(result.get("md", {}).get("step", job.spec.steps))
+            job.steps_done = step
+            if step < job.spec.steps:
+                # preempted mid-trajectory: back in the queue; the
+                # checkpoint store holds the slice boundary snapshot
+                job.status = "pending"
+                self._count("service.jobs_preempted")
+                return
+        self._count("service.cache_misses")
+        self.cache.put(job.key, result)
+        job.result = result
+        job.status = "done"
+        self._count("service.jobs_completed")
+        self._retire(job)
+
+    def _retire(self, job: Job) -> None:
+        if self.store is not None:
+            self.store.write(job.id, job.record())

@@ -1,0 +1,68 @@
+"""JSON results store: the campaign's durable output surface.
+
+One record per job, written atomically as the scheduler retires jobs,
+plus a campaign manifest (``campaign.json``) holding the queue state so
+``repro campaign submit`` / ``run`` / ``status`` / ``results`` can be
+separate processes.  The analysis layer reads this store back through
+:func:`repro.analysis.report.campaign_table` — the service writes, the
+analysis reads, and the schema envelope (:mod:`repro.runtime.schema`)
+is the contract between them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..runtime.schema import check_envelope
+
+__all__ = ["ResultsStore"]
+
+
+class ResultsStore:
+    """Per-job JSON records under ``<directory>/results/``."""
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.results_dir = self.directory / "results"
+
+    @staticmethod
+    def _name(job_id: int) -> str:
+        return f"job-{int(job_id):05d}.json"
+
+    def write(self, job_id: int, record: dict) -> Path:
+        """Atomically persist one job record (a schema envelope)."""
+        check_envelope(record)
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        path = self.results_dir / self._name(job_id)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(record, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def read(self, job_id: int) -> dict:
+        """One job record, envelope-checked at the boundary."""
+        path = self.results_dir / self._name(job_id)
+        try:
+            record = json.loads(path.read_text())
+        except OSError as e:
+            raise FileNotFoundError(
+                f"no stored result for job {job_id} in "
+                f"'{self.results_dir}'") from e
+        return check_envelope(record)
+
+    def job_ids(self) -> list[int]:
+        """IDs with stored results, ascending."""
+        if not self.results_dir.is_dir():
+            return []
+        ids = []
+        for path in self.results_dir.glob("job-*.json"):
+            stem = path.stem.split("-", 1)[-1]
+            if stem.isdigit():
+                ids.append(int(stem))
+        return sorted(ids)
+
+    def read_all(self) -> list[dict]:
+        """Every stored record, by ascending job id."""
+        return [self.read(i) for i in self.job_ids()]

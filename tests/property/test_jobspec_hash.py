@@ -1,0 +1,98 @@
+"""Property: the JobSpec content address is an invariant of meaning.
+
+The canonical key must not move under representation changes — dict key
+order, float formatting, JSON round-trips — and must move under any
+physics change, in particular the thermostat seed of an MD job (two
+seeds are two trajectories, never one cache entry).
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service import JobSpec
+
+pytestmark = pytest.mark.service
+
+_BUILDERS = ("h2", "water", "lih")
+
+
+def _spec_dicts():
+    """Spec dicts with draws over kind, physics knobs, and MD setup."""
+    return st.fixed_dictionaries({
+        "kind": st.sampled_from(("scf", "md")),
+        "molecule": st.sampled_from(_BUILDERS),
+        "basis": st.sampled_from(("sto-3g", "3-21g")),
+        "method": st.sampled_from(("hf", "pbe")),
+        "perturb": st.floats(min_value=0.0, max_value=0.1,
+                             allow_nan=False),
+        "perturb_seed": st.integers(min_value=0, max_value=5),
+        "conv_tol": st.floats(min_value=1e-10, max_value=1e-6,
+                              allow_nan=False),
+        "steps": st.integers(min_value=1, max_value=50),
+        "dt_fs": st.floats(min_value=0.1, max_value=1.0,
+                           allow_nan=False),
+        "seed": st.integers(min_value=0, max_value=9),
+    })
+
+
+@settings(max_examples=30, deadline=None)
+@given(d=_spec_dicts(), shuffle_seed=st.randoms())
+def test_key_invariant_under_dict_order(d, shuffle_seed):
+    spec = JobSpec.from_dict(d)
+    items = list(d.items())
+    shuffle_seed.shuffle(items)
+    assert JobSpec.from_dict(dict(items)).canonical_key() \
+        == spec.canonical_key()
+
+
+@settings(max_examples=30, deadline=None)
+@given(d=_spec_dicts())
+def test_key_invariant_under_float_formatting(d):
+    spec = JobSpec.from_dict(d)
+    # reformat every float through a lossless round-trip of its repr —
+    # '0.5' vs '5e-1' style differences must not move the key
+    reformatted = {
+        k: float(repr(v)) if isinstance(v, float) else v
+        for k, v in d.items()
+    }
+    assert JobSpec.from_dict(reformatted).canonical_key() \
+        == spec.canonical_key()
+    clone = JobSpec.from_json(json.dumps(json.loads(spec.to_json()),
+                                         indent=3))
+    assert clone.canonical_key() == spec.canonical_key()
+
+
+@settings(max_examples=30, deadline=None)
+@given(d=_spec_dicts(), other_seed=st.integers(min_value=10,
+                                               max_value=20))
+def test_md_seeds_never_collide(d, other_seed):
+    d["kind"] = "md"
+    spec = JobSpec.from_dict(d)
+    reseeded = spec.replace(seed=other_seed)
+    assert reseeded.canonical_key() != spec.canonical_key()
+
+
+@settings(max_examples=30, deadline=None)
+@given(d=_spec_dicts())
+def test_execution_placement_never_enters_the_key(d):
+    spec = JobSpec.from_dict(d)
+    moved = spec.replace(label="moved",
+                         **(dict(executor="process", nworkers=8)
+                            if spec.method == "hf" else {}))
+    assert moved.canonical_key() == spec.canonical_key()
+
+
+def test_equal_floats_different_literals_collide_on_purpose():
+    a = JobSpec(molecule="h2", dt_fs=0.5, kind="md")
+    b = JobSpec(molecule="h2", dt_fs=5e-1, kind="md")
+    assert a.canonical_key() == b.canonical_key()
+
+
+def test_int_float_do_not_alias():
+    # an int field value and an equal float elsewhere must not produce
+    # the same canonical fragment (ints hash as ints, floats as hex)
+    from repro.service.jobspec import _canon
+
+    assert _canon(1) != _canon(1.0)

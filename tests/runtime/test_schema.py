@@ -1,0 +1,77 @@
+"""The result-envelope schema: producer and boundary validator."""
+
+import pytest
+
+from repro.runtime import (ENVELOPE_KEYS, SCHEMA_VERSION, check_envelope,
+                           result_envelope)
+
+
+def test_envelope_has_shared_keys():
+    env = result_envelope("scf", wall_s=1.25, counters={"a": 1}, x=2)
+    for key in ENVELOPE_KEYS:
+        assert key in env
+    assert env["schema_version"] == SCHEMA_VERSION
+    assert env["kind"] == "scf"
+    assert env["wall_s"] == 1.25
+    assert env["counters"] == {"a": 1}
+    assert env["x"] == 2
+
+
+def test_envelope_defaults():
+    env = result_envelope("md")
+    assert env["wall_s"] == 0.0 and env["counters"] == {}
+
+
+def test_envelope_rejects_reserved_payload_keys():
+    with pytest.raises(ValueError, match="collide"):
+        result_envelope("scf", schema_version=2)
+    with pytest.raises(TypeError):
+        result_envelope("scf", kind="md")   # duplicate named argument
+
+
+def test_check_envelope_accepts_and_returns():
+    env = result_envelope("job", status="done")
+    assert check_envelope(env) is env
+    assert check_envelope(env, kind="job") is env
+
+
+def test_check_envelope_rejects_missing_keys():
+    env = result_envelope("job")
+    for key in ENVELOPE_KEYS:
+        broken = dict(env)
+        del broken[key]
+        with pytest.raises(ValueError):
+            check_envelope(broken)
+
+
+def test_check_envelope_rejects_wrong_kind():
+    with pytest.raises(ValueError, match="expected"):
+        check_envelope(result_envelope("scf"), kind="md")
+
+
+def test_check_envelope_rejects_future_version():
+    env = dict(result_envelope("scf"))
+    env["schema_version"] = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="newer"):
+        check_envelope(env)
+
+
+def test_check_envelope_rejects_non_dict():
+    with pytest.raises(ValueError):
+        check_envelope([1, 2, 3])
+
+
+def test_result_summaries_share_the_envelope(h2):
+    """Every public result object speaks the same schema."""
+    from repro.runtime import Tracer
+    from repro.scf import run_rhf
+
+    tracer = Tracer(name="t")
+    with tracer.span("root"):
+        pass
+    scf = run_rhf(h2, "sto-3g")
+    summaries = [scf.summary(), tracer.snapshot().summary()]
+    for summ in summaries:
+        check_envelope(summ)
+    assert scf.summary()["kind"] == "scf"
+    assert scf.summary()["wall_s"] > 0

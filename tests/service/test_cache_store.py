@@ -1,0 +1,95 @@
+"""ResultCache and ResultsStore: content addressing, durability,
+corruption behavior."""
+
+import json
+
+import pytest
+
+from repro.runtime import result_envelope
+from repro.service import JobSpec, ResultCache, ResultsStore
+
+pytestmark = pytest.mark.service
+
+
+def _envelope(**payload):
+    return result_envelope("scf_result", wall_s=0.1,
+                           counters={"scf.niter": 5}, **payload)
+
+
+@pytest.fixture
+def key():
+    return JobSpec(molecule="h2").canonical_key()
+
+
+# --- cache --------------------------------------------------------------------
+
+
+def test_memory_cache_round_trip(key):
+    cache = ResultCache()
+    assert cache.get(key) is None and key not in cache
+    cache.put(key, _envelope(energy=-1.0))
+    assert key in cache and len(cache) == 1
+    assert cache.get(key)["energy"] == -1.0
+
+
+def test_memory_cache_isolates_mutation(key):
+    cache = ResultCache()
+    rec = _envelope(energy=-1.0)
+    cache.put(key, rec)
+    rec["energy"] = 99.0
+    cache.get(key)["counters"]["scf.niter"] = 99
+    assert cache.get(key)["energy"] == -1.0
+    assert cache.get(key)["counters"]["scf.niter"] == 5
+
+
+def test_disk_cache_round_trip(tmp_path, key):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(key, _envelope(energy=-2.0))
+    # a fresh handle on the same directory sees the record
+    again = ResultCache(tmp_path / "cache")
+    assert again.get(key)["energy"] == -2.0
+    assert len(again) == 1
+
+
+def test_disk_cache_corrupt_record_is_a_miss(tmp_path, key):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(key, _envelope(energy=-2.0))
+    path = cache._path(key)
+    path.write_text("{not json")
+    assert cache.get(key) is None
+    path.write_text(json.dumps({"schema_version": 1}))  # not an envelope
+    assert cache.get(key) is None
+
+
+def test_cache_rejects_bad_keys():
+    cache = ResultCache()
+    for bad in ("", "abc", "Z" * 64, "../../etc/passwd", 12, None):
+        with pytest.raises(ValueError):
+            cache.get(bad)
+
+
+def test_cache_rejects_non_envelope(key):
+    with pytest.raises(ValueError):
+        ResultCache().put(key, {"energy": -1.0})
+
+
+# --- store --------------------------------------------------------------------
+
+
+def test_store_round_trip(tmp_path):
+    store = ResultsStore(tmp_path)
+    store.write(3, _envelope(energy=-3.0))
+    store.write(1, _envelope(energy=-1.0))
+    assert store.job_ids() == [1, 3]
+    assert store.read(3)["energy"] == -3.0
+    assert [r["energy"] for r in store.read_all()] == [-1.0, -3.0]
+
+
+def test_store_missing_record(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        ResultsStore(tmp_path).read(7)
+
+
+def test_store_rejects_non_envelope(tmp_path):
+    with pytest.raises(ValueError):
+        ResultsStore(tmp_path).write(0, {"energy": -1.0})

@@ -1,0 +1,175 @@
+"""JobSpec: boundary validation, JSON round-trip, content addressing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service import JobSpec, solvent_screening_specs
+
+pytestmark = pytest.mark.service
+
+
+# --- validation ---------------------------------------------------------------
+
+
+def test_defaults_validate():
+    spec = JobSpec()
+    assert spec.kind == "scf" and spec.method == "hf"
+
+
+@pytest.mark.parametrize("bad", [
+    dict(kind="dance"),
+    dict(method="ccsd"),
+    dict(kind="md", method="uhf"),          # uhf is SCF-only
+    dict(molecule=""),
+    dict(molecule={"symbols": ["H"]}),      # missing coords
+    dict(kernel="magic"),
+    dict(scf_solver="newton"),
+    dict(mode="semidirect"),
+    dict(executor="mpi"),
+    dict(thermostat="nose"),
+    dict(conv_tol=0.0),
+    dict(dt_fs=-0.5),
+    dict(perturb=-0.1),
+    dict(kind="md", steps=0),
+    dict(kind="md", thermostat="csvr"),     # thermostat needs T
+    dict(executor="process", method="pbe"),
+    dict(executor="process", mode="incore"),
+    dict(scf_solver="soscf", method="uhf"),
+    dict(scf_solver="auto", multiplicity=3),
+])
+def test_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        JobSpec(**bad)
+
+
+def test_replace_revalidates():
+    spec = JobSpec()
+    with pytest.raises(ValueError):
+        spec.replace(method="nope")
+
+
+# --- JSON round-trip ----------------------------------------------------------
+
+
+def test_dict_and_json_round_trip():
+    spec = JobSpec(kind="md", molecule="h2", steps=7, dt_fs=0.25,
+                   temperature=300.0, thermostat="csvr", seed=3,
+                   label="t")
+    assert JobSpec.from_dict(spec.to_dict()) == spec
+    assert JobSpec.from_json(spec.to_json()) == spec
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="no field"):
+        JobSpec.from_dict({"kind": "scf", "molcule": "water"})
+
+
+def test_from_dict_revalidates():
+    d = JobSpec().to_dict()
+    d["method"] = "ccsd"
+    with pytest.raises(ValueError):
+        JobSpec.from_dict(d)
+
+
+# --- molecule resolution ------------------------------------------------------
+
+
+def test_resolve_builder_with_overrides():
+    mol = JobSpec(molecule="h2", charge=1, multiplicity=2).resolve_molecule()
+    assert mol.charge == 1 and mol.multiplicity == 2
+
+
+def test_resolve_unknown_builder():
+    with pytest.raises(ValueError, match="unknown built-in molecule"):
+        JobSpec(molecule="unobtainium").resolve_molecule()
+
+
+def test_resolve_inline_bohr_is_exact():
+    from repro.chem import builders
+
+    ref = builders.h2()
+    spec = JobSpec(molecule={"symbols": list(ref.symbols),
+                             "coords_bohr": ref.coords.tolist()})
+    mol = spec.resolve_molecule()
+    assert np.array_equal(mol.coords, ref.coords)
+    assert np.array_equal(mol.numbers, ref.numbers)
+
+
+def test_perturbation_is_seeded_and_deterministic():
+    base = JobSpec(molecule="water").resolve_molecule()
+    a = JobSpec(molecule="water", perturb=0.05,
+                perturb_seed=1).resolve_molecule()
+    b = JobSpec(molecule="water", perturb=0.05,
+                perturb_seed=1).resolve_molecule()
+    c = JobSpec(molecule="water", perturb=0.05,
+                perturb_seed=2).resolve_molecule()
+    assert np.array_equal(a.coords, b.coords)
+    assert not np.array_equal(a.coords, base.coords)
+    assert not np.array_equal(a.coords, c.coords)
+
+
+# --- canonical key ------------------------------------------------------------
+
+
+def test_key_ignores_execution_placement():
+    a = JobSpec(molecule="h2")
+    b = a.replace(executor="process", nworkers=4, label="elsewhere")
+    assert a.canonical_key() == b.canonical_key()
+
+
+def test_key_changes_with_physics():
+    base = JobSpec(molecule="h2")
+    assert base.canonical_key() != base.replace(
+        basis="3-21g").canonical_key()
+    assert base.canonical_key() != base.replace(
+        method="pbe").canonical_key()
+    assert base.canonical_key() != base.replace(
+        conv_tol=1e-9).canonical_key()
+    assert base.canonical_key() != base.replace(
+        perturb=0.05).canonical_key()
+
+
+def test_scf_key_ignores_md_fields_md_key_does_not():
+    scf = JobSpec(kind="scf", molecule="h2")
+    assert scf.canonical_key() == scf.replace(steps=99,
+                                              seed=7).canonical_key()
+    md = JobSpec(kind="md", molecule="h2")
+    assert md.canonical_key() != md.replace(steps=99).canonical_key()
+    assert md.canonical_key() != md.replace(seed=7).canonical_key()
+    assert scf.canonical_key() != md.canonical_key()
+
+
+def test_key_survives_json_round_trip():
+    spec = JobSpec(kind="md", molecule="water", perturb=0.03,
+                   perturb_seed=5, dt_fs=0.5, temperature=350.0,
+                   thermostat="berendsen")
+    clone = JobSpec.from_json(json.dumps(json.loads(spec.to_json())))
+    assert clone.canonical_key() == spec.canonical_key()
+
+
+# --- screening generator ------------------------------------------------------
+
+
+def test_solvent_screening_axes():
+    specs = solvent_screening_specs(solvents=("PC", "ACN"),
+                                    methods=("hf", "pbe"), nperturb=2,
+                                    perturb=0.02)
+    assert len(specs) == 2 * 2 * 2
+    keys = {s.canonical_key() for s in specs}
+    assert len(keys) == len(specs)      # every axis point is distinct
+    labels = {s.label for s in specs}
+    assert "PC/hf/p0/s0" in labels and "ACN/pbe/p1/s0" in labels
+
+
+def test_solvent_screening_md_seed_axis():
+    specs = solvent_screening_specs(solvents=("PC",), methods=("hf",),
+                                    kind="md", seeds=(0, 1, 2), steps=4)
+    assert len(specs) == 3
+    assert len({s.canonical_key() for s in specs}) == 3
+
+
+def test_solvent_screening_rejects_unknown_solvent():
+    with pytest.raises(Exception):
+        solvent_screening_specs(solvents=("XYZ",))

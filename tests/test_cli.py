@@ -168,3 +168,77 @@ def test_md_json_output(tmp_path, capsys):
     assert doc["md"]["steps"] == 2
     assert doc["md"]["restored_from"] is None
     assert doc["molecule"]["natom"] == 2
+
+
+def test_campaign_submit_run_results(tmp_path, capsys):
+    d = str(tmp_path / "camp")
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(
+        '[{"kind": "scf", "molecule": "h2", "label": "one"},'
+        ' {"kind": "scf", "molecule": "h2", "label": "dup"}]')
+    assert main(["campaign", "--dir", d, "submit",
+                 "--spec", str(spec_file)]) == 0
+    out = capsys.readouterr().out
+    assert "2 job(s) queued" in out
+
+    assert main(["campaign", "--dir", d, "status"]) == 0
+    assert "2 pending" in capsys.readouterr().out
+
+    assert main(["campaign", "--dir", d, "run"]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 completed" in out
+    assert "1 cache hit(s)" in out
+    assert "[cache]" in out
+
+    assert main(["campaign", "--dir", d, "results"]) == 0
+    out = capsys.readouterr().out
+    assert "one" in out and "dup" in out and "done" in out
+
+
+def test_campaign_run_json_report(tmp_path, capsys):
+    import json
+
+    d = str(tmp_path / "camp")
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text('{"kind": "md", "molecule": "h2", "steps": 2}')
+    assert main(["campaign", "--dir", d, "submit",
+                 "--spec", str(spec_file)]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "--dir", d, "run", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "campaign_report"
+    assert doc["completed"] == 1
+    assert doc["counters"]["service.jobs_completed"] == 1
+
+
+def test_campaign_failed_job_sets_exit_code(tmp_path, capsys, monkeypatch):
+    d = str(tmp_path / "camp")
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text('{"kind": "scf", "molecule": "h2"}')
+    assert main(["campaign", "--dir", d, "submit",
+                 "--spec", str(spec_file)]) == 0
+    monkeypatch.setenv("REPRO_SERVICE_FAULT", "job=0,times=5")
+    assert main(["campaign", "--dir", d, "run",
+                 "--max-retries", "0"]) == 1
+    out = capsys.readouterr().out
+    assert "InjectedWorkerDeath" in out
+
+
+def test_campaign_submit_rejects_bad_spec_file(tmp_path):
+    d = str(tmp_path / "camp")
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"kind": "scf", "molcule": "h2"}')
+    with pytest.raises(SystemExit, match="bad spec"):
+        main(["campaign", "--dir", d, "submit", "--spec", str(bad)])
+    with pytest.raises(SystemExit, match="nothing to submit"):
+        main(["campaign", "--dir", d, "submit"])
+
+
+def test_campaign_screen_generator(tmp_path, capsys):
+    d = str(tmp_path / "camp")
+    assert main(["campaign", "--dir", d, "submit", "--screen",
+                 "--solvents", "PC", "--methods", "hf",
+                 "--nperturb", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "2 job(s) queued" in out
+    assert "PC/hf/p0/s0" in out and "PC/hf/p1/s0" in out
