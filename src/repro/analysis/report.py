@@ -111,10 +111,11 @@ def campaign_table(records: Iterable[dict], title: str = "campaign") -> str:
     """Paper-style summary of retired campaign job records.
 
     One row per job record (the ``kind="job"`` envelopes a
-    :class:`repro.service.ResultsStore` holds): label, kind, status,
-    attempts, whether the cache served it, the headline observable
-    (SCF energy in hartree or final MD potential energy), and wall
-    time.  Failed jobs show their error class instead of a number.
+    :class:`repro.service.ResultsStore` holds): label, kind, which J/K
+    engine served it (``direct``/``ri``), status, attempts, whether the
+    cache served it, the headline observable (SCF energy in hartree or
+    final MD potential energy), and wall time.  Failed jobs show their
+    error class instead of a number.
     """
     rows = []
     for rec in records:
@@ -129,10 +130,11 @@ def campaign_table(records: Iterable[dict], title: str = "campaign") -> str:
         else:
             value = "-"
         rows.append((rec.get("label", f"job-{rec.get('job_id', '?')}"),
-                     spec.get("kind", "?"), rec.get("status", "?"),
+                     spec.get("kind", "?"), spec.get("jk", "direct"),
+                     rec.get("status", "?"),
                      rec.get("attempts", 0),
                      "hit" if rec.get("cache_hit") else "",
                      value, format_seconds(float(rec.get("wall_s", 0.0)))))
     return format_table(
-        rows, ("job", "kind", "status", "attempts", "cache", "E/hartree",
-               "wall"), title=title)
+        rows, ("job", "kind", "jk", "status", "attempts", "cache",
+               "E/hartree", "wall"), title=title)

@@ -62,7 +62,8 @@ def _config_for(spec: JobSpec, config: ExecutionConfig | None
     if config is not None:
         return resolve_execution(config, owner="repro.api")
     return ExecutionConfig(executor=spec.executor, nworkers=spec.nworkers,
-                           kernel=spec.kernel, scf_solver=spec.scf_solver)
+                           kernel=spec.kernel, jk=spec.jk,
+                           scf_solver=spec.scf_solver)
 
 
 def _molecule_payload(mol) -> dict:
@@ -76,9 +77,10 @@ def run_scf(spec: JobSpec | dict,
     """One SCF single point; returns a ``"scf_result"`` envelope.
 
     Routes exactly like the ``repro scf`` command always did: UHF for
-    ``method="uhf"`` or open shells, direct RHF for ``method="hf"``
-    (forced to direct J/K builds on the process executor), Kohn-Sham
-    otherwise.
+    ``method="uhf"`` or open shells, direct RHF for ``method="hf"``,
+    Kohn-Sham otherwise.  The process executor and the density-fitted
+    path (``jk="ri"``) both force direct J/K builds — neither has
+    anything to accelerate on the in-core tensor.
     """
     spec = _as_spec(spec, kind="scf")
     cfg = _config_for(spec, config)
@@ -87,23 +89,24 @@ def run_scf(spec: JobSpec | dict,
     if spec.method == "uhf" or mol.multiplicity > 1:
         from .scf import run_uhf
 
-        # the UHF driver predates ExecutionConfig and is untraced
-        res = run_uhf(mol, basis=spec.basis, conv_tol=spec.conv_tol)
-        scf = {"energy": float(res.energy),
-               "energy_nuc": float(res.energy_nuc),
-               "converged": bool(res.converged),
-               "niter": int(res.niter),
-               "s_squared": float(res.s_squared()),
-               "solver": "diis"}
+        kwargs = {"config": cfg.replace(scf_solver="diis"),
+                  "conv_tol": spec.conv_tol,
+                  "screen_eps": spec.screen_eps}
+        if cfg.executor == "process" or cfg.jk == "ri":
+            kwargs["mode"] = "direct"
+        elif spec.mode:
+            kwargs["mode"] = spec.mode
+        res = run_uhf(mol, basis=spec.basis, **kwargs)
+        scf = res.summary()
         label = "UHF"
-        counters = {"scf.niter": int(res.niter)}
+        counters = dict(scf.get("counters", {}))
     else:
         if spec.method == "hf":
             from .scf import run_rhf
 
             kwargs = {"config": cfg, "conv_tol": spec.conv_tol,
                       "screen_eps": spec.screen_eps}
-            if cfg.executor == "process":
+            if cfg.executor == "process" or cfg.jk == "ri":
                 kwargs["mode"] = "direct"
             elif spec.mode:
                 kwargs["mode"] = spec.mode
@@ -112,8 +115,11 @@ def run_scf(spec: JobSpec | dict,
         else:
             from .scf.dft import run_rks
 
+            kwargs = {"config": cfg, "conv_tol": spec.conv_tol}
+            if cfg.executor == "process" or cfg.jk == "ri":
+                kwargs["mode"] = "direct"
             res = run_rks(mol, basis=spec.basis, functional=spec.method,
-                          config=cfg, conv_tol=spec.conv_tol)
+                          **kwargs)
             label = spec.method.upper()
         scf = res.summary()
         counters = dict(scf.get("counters", {}))

@@ -4,10 +4,12 @@ from .shell import Shell, cartesian_components, ncart, primitive_norm
 from .data import BASIS_LIBRARY, available_basis_sets
 from .basisset import BasisSet, build_basis
 from .shellpair import ShellPair, build_shell_pairs
+from .auxbasis import build_aux_basis, even_tempered_exponents
 
 __all__ = [
     "Shell", "cartesian_components", "ncart", "primitive_norm",
     "BASIS_LIBRARY", "available_basis_sets",
     "BasisSet", "build_basis",
     "ShellPair", "build_shell_pairs",
+    "build_aux_basis", "even_tempered_exponents",
 ]

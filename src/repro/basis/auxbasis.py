@@ -1,0 +1,104 @@
+"""Even-tempered auxiliary basis generation for density fitting.
+
+The RI factorization (see :mod:`repro.integrals.ri`) expands orbital
+products ``|uv)`` in an auxiliary basis ``{|P)}``.  Rather than ship a
+second basis library, the auxiliary set is *derived* from the orbital
+basis per element, the way PySCF's ``aug_etb`` does: a product of two
+primitives with exponents ``a_i``/``a_j`` is a Gaussian with exponent
+``a_i + a_j`` and angular momentum up to ``l_i + l_j``, so for every
+auxiliary angular momentum the generator spans the min..max exponent
+sums of the contributing orbital-shell pairs with an even-tempered
+geometric progression ``e_min * beta**k``.
+
+Every auxiliary shell is a single normalized primitive — contraction
+buys nothing for fitting functions and single primitives keep the
+2-/3-index integral classes small and uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .basisset import BasisSet
+from .shell import Shell
+
+__all__ = ["build_aux_basis", "even_tempered_exponents"]
+
+#: Default even-tempered progression ratio.  2.0 is on the dense/safe
+#: side (PySCF's aug_etb default is 2.0 as well); the F15 benchmark and
+#: the parity tests pin the resulting fitted error on the test systems.
+DEFAULT_BETA = 2.0
+
+
+def even_tempered_exponents(emin: float, emax: float,
+                            beta: float = DEFAULT_BETA) -> np.ndarray:
+    """Geometric exponent ladder covering ``[emin, emax]``.
+
+    Returns ``emin * beta**k`` for ``k = 0..n`` with ``n`` chosen so the
+    ladder reaches at least ``emax``.
+    """
+    if not (emin > 0.0 and emax >= emin):
+        raise ValueError(f"need 0 < emin <= emax, got {emin!r}, {emax!r}")
+    if beta <= 1.0:
+        raise ValueError(f"beta must exceed 1, got {beta!r}")
+    n = int(np.ceil(np.log(emax / emin) / np.log(beta))) + 1
+    return emin * beta ** np.arange(n, dtype=np.float64)
+
+
+def _element_plan(shells_by_l: dict[int, list[np.ndarray]],
+                  beta: float) -> list[tuple[int, float]]:
+    """Auxiliary ``(l, exponent)`` list for one element.
+
+    ``shells_by_l`` maps orbital angular momentum to the primitive
+    exponent arrays present on the element.
+    """
+    lmax = max(shells_by_l)
+    plan: list[tuple[int, float]] = []
+    # one angular layer beyond the product limit 2*lmax: the l = 2*lmax
+    # products leave an angular fitting residual that the next-l shells
+    # absorb — measured on the test systems this is the difference
+    # between ~2e-4 and ~1.5e-5 Ha/atom fitted energy error
+    for laux in range(2 * lmax + 2):
+        # min/max over all primitive exponent sums of contributing
+        # shell pairs (those whose product can reach laux; the extra
+        # top layer reuses the highest-l product ranges)
+        sums = []
+        for l1, arrs1 in shells_by_l.items():
+            for l2, arrs2 in shells_by_l.items():
+                if l1 + l2 < min(laux, 2 * lmax):
+                    continue
+                e1 = np.concatenate(arrs1)
+                e2 = np.concatenate(arrs2)
+                s = e1[:, None] + e2[None, :]
+                sums.append((float(s.min()), float(s.max())))
+        if not sums:
+            continue
+        emin = min(lo for lo, _ in sums)
+        emax = max(hi for _, hi in sums)
+        for e in even_tempered_exponents(emin, emax, beta):
+            plan.append((laux, float(e)))
+    return plan
+
+
+def build_aux_basis(basis: BasisSet, beta: float = DEFAULT_BETA) -> BasisSet:
+    """Even-tempered auxiliary :class:`BasisSet` derived from ``basis``.
+
+    One plan is computed per element (from that element's orbital
+    primitive exponents) and instantiated on every atom of the element,
+    so two atoms of the same species always carry identical fitting
+    sets regardless of geometry.
+    """
+    mol = basis.molecule
+    # orbital exponents per element, keyed by angular momentum
+    per_element: dict[str, dict[int, list[np.ndarray]]] = {}
+    for sh in basis.shells:
+        sym = mol.symbols[sh.atom] if sh.atom >= 0 else "X"
+        per_element.setdefault(sym, {}).setdefault(sh.l, []).append(sh.exps)
+    plans = {sym: _element_plan(by_l, beta)
+             for sym, by_l in per_element.items()}
+    shells: list[Shell] = []
+    for iatom, sym in enumerate(mol.symbols):
+        for laux, exp in plans[sym]:
+            shells.append(Shell(laux, np.array([exp]), np.array([1.0]),
+                                mol.coords[iatom], atom=iatom))
+    return BasisSet(mol, f"{basis.name}-autoaux", shells)

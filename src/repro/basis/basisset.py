@@ -45,6 +45,20 @@ class BasisSet:
         return slice(int(self.offsets[i]),
                      int(self.offsets[i]) + self.shells[i].nfunc)
 
+    def shell_slices(self) -> list[slice]:
+        """All per-shell AO slices, computed once per basis object.
+
+        Every integral walk (4-index tensor fill, J/K scatters, and the
+        2-/3-index RI builders) needs the same shell->AO slice list;
+        caching it here gives them one shared copy instead of a
+        per-call rebuild.
+        """
+        cached = self.__dict__.get("_slices_cache")
+        if cached is None:
+            cached = [self.shell_slice(i) for i in range(self.nshell)]
+            self.__dict__["_slices_cache"] = cached
+        return cached
+
     def ao_labels(self) -> list[str]:
         """Human-readable labels like ``'0 O 2px'`` for every AO."""
         labels = []

@@ -187,6 +187,46 @@ def _rank_jobs(tasks: TaskList, part: Partition, nranks: int) -> list:
     return jobs
 
 
+def _ri_rank_partials(basis: BasisSet, D: np.ndarray, nranks: int,
+                      eps: float, cfg: ExecutionConfig, pool, tr
+                      ) -> list[np.ndarray]:
+    """Per-rank partial exchange matrices on the density-fitted path.
+
+    The fitted tensor ``B[P,uv]`` is assembled once (pooled and
+    fault-tolerant via :class:`repro.scf.ri_jk.RIJKBuilder` when the
+    config says ``executor="process"``), then the auxiliary shells are
+    sharded over the simulated ranks and rank ``r`` contracts only its
+    own rows: ``K_r = sum_{P in r} B_P D B_P``.  The caller's allreduce
+    over the partials recovers the full fitted K exactly, mirroring the
+    quartet path's per-rank accumulation.
+    """
+    from ..integrals.ri import aux_shard_slices
+    from ..scf.ri_jk import RIJKBuilder
+
+    builder = RIJKBuilder(basis, eps=eps, pool=pool, config=cfg)
+    try:
+        B = builder.fitted_tensor()
+    finally:
+        builder.close()
+    aux = builder.aux
+    shards = aux_shard_slices(aux, nranks)
+    aslices = aux.shell_slices()
+    partials = []
+    for rank in range(nranks):
+        with tr.span("hfx.rank", cat="hfx", rank=rank, mode="ri"):
+            if rank < len(shards):
+                rows = np.concatenate(
+                    [np.arange(aslices[ai].start, aslices[ai].stop)
+                     for ai in shards[rank]])
+                Br = B[rows]
+                Kr = np.einsum("Puv,vw,Pwx->ux", Br, D, Br,
+                               optimize=True)
+            else:
+                Kr = np.zeros((basis.nbf, basis.nbf))
+            partials.append(Kr)
+    return partials
+
+
 def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
                          eps: float = 1e-10,
                          partitioner: str = "serpentine",
@@ -212,6 +252,12 @@ def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
     deaths past the retry budget) degrades the build to the serial rank
     loop — one ``RuntimeWarning`` plus a ``pool.degraded_builds``
     count — instead of raising.
+
+    ``config.jk="ri"`` swaps the quartet rank loop for the
+    density-fitted one: the fitted ``B`` tensor is assembled once
+    (pooled when ``executor="process"``), each rank contracts its own
+    auxiliary-shell shard into a partial K, and the same allreduce
+    recovers the full fitted exchange.
     """
     cfg = resolve_execution(config, owner="distributed_exchange")
     tr = cfg.trace
@@ -226,7 +272,10 @@ def distributed_exchange(basis: BasisSet, D: np.ndarray, nranks: int,
         world = SimWorld(nranks)
         nbf = basis.nbf
         partials = None
-        if cfg.executor == "process":
+        if cfg.jk == "ri":
+            partials = _ri_rank_partials(basis, D, nranks, eps, cfg,
+                                         pool, tr)
+        elif cfg.executor == "process":
             from ..runtime.pool import ExchangeWorkerPool, WorkerDeathError
 
             jobs = _rank_jobs(tasks, part, nranks)

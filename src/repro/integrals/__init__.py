@@ -7,6 +7,8 @@ from .overlap import overlap_matrix, overlap_block
 from .kinetic import kinetic_matrix, kinetic_block
 from .nuclear import nuclear_matrix, nuclear_block
 from .eri import eri_quartet, eri_tensor, ERIEngine
+from .ri import (AuxShellPair, aux_shard_slices, inv_sqrt_metric, metric_2c,
+                 three_center_slab)
 from .batch import eri_quartet_batch, quartet_class_groups, flatten_pairs
 from .schwarz import (schwarz_bounds, schwarz_matrix, pair_extent_estimate,
                       count_surviving_quartets)
@@ -21,6 +23,8 @@ __all__ = [
     "kinetic_matrix", "kinetic_block",
     "nuclear_matrix", "nuclear_block",
     "eri_quartet", "eri_tensor", "ERIEngine",
+    "AuxShellPair", "aux_shard_slices", "inv_sqrt_metric", "metric_2c",
+    "three_center_slab",
     "eri_quartet_batch", "quartet_class_groups", "flatten_pairs",
     "schwarz_bounds", "schwarz_matrix", "pair_extent_estimate",
     "count_surviving_quartets",

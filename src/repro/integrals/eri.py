@@ -163,9 +163,10 @@ def eri_tensor(basis: BasisSet, screen: float = 0.0) -> np.ndarray:
     nsh = basis.nshell
     engine = ERIEngine(basis)
     eri = np.zeros((basis.nbf,) * 4)
-    # hoisted invariants: shell slices and Schwarz-bound products are
-    # computed once per build, never inside the quartet loops
-    slices = [basis.shell_slice(i) for i in range(nsh)]
+    # hoisted invariants: shell slices (cached on the basis object, so
+    # the 2-/3-index RI builders share the same list) and Schwarz-bound
+    # products are computed once per build, never inside quartet loops
+    slices = basis.shell_slices()
     keys = [(i, j) for i in range(nsh) for j in range(i, nsh)]
     if screen > 0:
         Q = engine.schwarz_bounds()

@@ -102,6 +102,7 @@ class SCFForceEngine:
     scf_iterations: list[int] = field(default_factory=list)
     _pool: object = field(default=None, repr=False)
     _kinc: object = field(default=None, repr=False)
+    _ri: object = field(default=None, repr=False)
     _soscf_state: dict | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -122,6 +123,12 @@ class SCFForceEngine:
                 raise ValueError("incremental exchange runs on the serial "
                                  "executor (its own pool support is not "
                                  "shared with the direct J builder)")
+            if self.config.jk == "ri":
+                raise ValueError("incremental exchange and jk='ri' are "
+                                 "mutually exclusive K strategies")
+        if self.config.jk == "ri" and self.method.lower() != "hf":
+            raise ValueError("jk='ri' is wired through the direct RHF "
+                             "builder; use method='hf'")
 
     def close(self) -> None:
         """Stop the trajectory's worker pool, if one was spawned."""
@@ -157,6 +164,31 @@ class SCFForceEngine:
                 # pool is gone for good — stop handing it out
                 self._degrade_pool()
             kwargs.setdefault("config", self.config)
+            if self.config.jk == "ri":
+                from ..basis.basisset import build_basis
+                from ..scf.ri_jk import RIJKBuilder
+
+                basis = build_basis(mol, self.basis)
+                if self.executor == "process" and self._pool is None:
+                    from ..runtime.pool import ExchangeWorkerPool
+
+                    self._pool = ExchangeWorkerPool(
+                        basis, nworkers=self.config.nworkers,
+                        timeout=self.config.pool_timeout,
+                        max_retries=self.config.pool_max_retries)
+                if self._ri is None:
+                    self._ri = RIJKBuilder(basis, config=self.config,
+                                           pool=self._pool)
+                else:
+                    # geometry jump: the fitted tensor refers to the
+                    # previous Hamiltonian — rebuild the auxiliary set
+                    # and drop B explicitly (within the step's SCF it is
+                    # then reused by every iteration)
+                    self._ri.reset(basis)
+                kwargs.setdefault("mode", "direct")
+                kwargs.update(ri_builder=self._ri)
+                return RHF(basis.molecule, basis, conv_tol=self.conv_tol,
+                           **kwargs)
             if self.executor == "process":
                 from ..basis.basisset import build_basis
                 from ..runtime.pool import ExchangeWorkerPool
@@ -246,6 +278,7 @@ class SCFForceEngine:
             "kind": "scf_engine",
             "method": self.method,
             "basis": self.basis,
+            "jk": self.config.jk,
             "natom": self.mol.natom,
             "fd_step": float(self.fd_step),
             "last_D": (self.last_result.D.copy()
@@ -284,9 +317,19 @@ class SCFForceEngine:
         self.scf_iterations = list(state.get("scf_iterations", ()))
         soscf = state.get("soscf")
         self._soscf_state = dict(soscf) if soscf is not None else None
+        if state.get("jk", "direct") != self.config.jk:
+            raise CheckpointError(
+                f"SCFForceEngine: snapshot ran jk={state.get('jk')!r}, "
+                f"this engine is configured jk={self.config.jk!r} — the "
+                "trajectories are not interchangeable (the fitted and "
+                "exact exchange differ at working precision)")
         if self._kinc is not None:
             # any in-memory increment history predates the snapshot
             self._kinc.reset()
+        if self._ri is not None:
+            # any fitted tensor in memory predates the snapshot; the
+            # first post-restore solve rebuilds it for its geometry
+            self._ri = None
 
 
 @dataclass

@@ -310,6 +310,7 @@ def _worker_main(conn, dbuf, basis, nbf: int, wid: int) -> None:
 
     from ..integrals.batch import flatten_pairs
     from ..integrals.eri import ERIEngine
+    from ..integrals.ri import three_center_slab
     from ..scf.fock import (scatter_coulomb, scatter_coulomb_batch,
                             scatter_exchange, scatter_exchange_batch)
 
@@ -342,9 +343,29 @@ def _worker_main(conn, dbuf, basis, nbf: int, wid: int) -> None:
             elif cmd == "exec":
                 jobs, want_j, want_k = msg[1], msg[2], msg[3]
                 kernel = msg[4] if len(msg) > 4 else "quartet"
+                op = msg[5] if len(msg) > 5 else "jk"
+                aux = msg[6] if len(msg) > 6 else None
+                eps = msg[7] if len(msg) > 7 else 0.0
                 results = []
                 timings = []
                 nq = 0
+                if op == "ri3c":
+                    # 3-index RI assembly: each rank job carries a list
+                    # of auxiliary shell indices; the slab rides back in
+                    # the J slot of the usual (rank, J, K) triple.  The
+                    # aux basis travels in the message, so a respawned
+                    # worker needs no extra setup and the same
+                    # death/retry machinery applies unchanged.
+                    for rank, aux_idx in jobs:
+                        t0 = time.perf_counter()
+                        slab, nints = three_center_slab(
+                            basis, aux, aux_idx, eps, engine=engine)
+                        results.append((rank, slab, None))
+                        timings.append((rank, t0, time.perf_counter(),
+                                        nints))
+                        nq += nints
+                    conn.send(("ok", results, nq, timings))
+                    continue
                 for rank, pairs in jobs:
                     t0 = time.perf_counter()
                     nq_rank = 0
@@ -638,19 +659,24 @@ class ExchangeWorkerPool:
             raise self._diagnose_death(w, phase, ranks)
         raise self._diagnose_death(w, phase, ranks, hung=True)
 
-    def _dispatch(self, idxs, jobs, want_j, want_k, kernel, tr):
+    def _dispatch(self, idxs, jobs, want_j, want_k, kernel, tr,
+                  op: str = "jk", aux=None, eps: float = 0.0):
         """Send jobs ``idxs`` to the live workers (LPT on job cost).
 
         Returns ``(pending, lost, err)``: which worker holds which job
         indices, plus any jobs whose worker died at send time (its
         diagnosis rides along for the caller's recovery pass).
+
+        ``op`` selects the worker-side operation: ``"jk"`` (screened
+        quartet J/K partials; the default) or ``"ri3c"`` (3-index RI
+        slabs — ``aux``/``eps`` ride in the message).
         """
         live = self._live()
         pending: dict[int, list[int]] = {}
         lost: list[int] = []
         err = None
         with tr.span("pool.dispatch", cat="pool", njobs=len(idxs),
-                     nworkers=len(live), kernel=kernel):
+                     nworkers=len(live), kernel=kernel, op=op):
             assign = _lpt_assign([jobs[t].cost for t in idxs], len(live))
             for slot, sub in zip(live, assign):
                 mine = [idxs[k] for k in sub]
@@ -659,7 +685,7 @@ class ExchangeWorkerPool:
                 payload = [(jobs[t].rank, jobs[t].pairs) for t in mine]
                 try:
                     self._conns[slot].send(("exec", payload, want_j,
-                                            want_k, kernel))
+                                            want_k, kernel, op, aux, eps))
                 except (BrokenPipeError, OSError):
                     err = self._diagnose_death(
                         slot, "dispatch",
@@ -703,9 +729,10 @@ class ExchangeWorkerPool:
                                     rank=rank, nq=nq_rank)
         return lost, err, nq_total
 
-    def exchange(self, D: np.ndarray, jobs: list[RankJob],
+    def exchange(self, D: np.ndarray | None, jobs: list[RankJob],
                  want_j: bool = False, want_k: bool = True, tracer=None,
-                 kernel: str = "quartet"
+                 kernel: str = "quartet", op: str = "jk", aux=None,
+                 eps: float = 0.0
                  ) -> tuple[dict[int, tuple[np.ndarray | None,
                                             np.ndarray | None]], int]:
         """Execute rank jobs against density ``D``.
@@ -741,18 +768,22 @@ class ExchangeWorkerPool:
         tr = tracer if tracer is not None else NULL_TRACER
         if self._closed:
             raise RuntimeError("pool is closed")
-        D = np.asarray(D, dtype=np.float64)
-        if D.shape != self._D.shape:
-            raise ValueError(f"density shape {D.shape} does not match "
-                             f"the pool's basis ({self._D.shape})")
-        self._D[:] = D
+        if D is not None:
+            # density-free operations (op="ri3c") leave the shared
+            # buffer untouched
+            D = np.asarray(D, dtype=np.float64)
+            if D.shape != self._D.shape:
+                raise ValueError(f"density shape {D.shape} does not match "
+                                 f"the pool's basis ({self._D.shape})")
+            self._D[:] = D
         results: dict[int, tuple[np.ndarray | None, np.ndarray | None]] = {}
         nq_total = 0
         outstanding = list(range(len(jobs)))
         rounds = 0
         while outstanding:
             pending, lost, err = self._dispatch(outstanding, jobs, want_j,
-                                                want_k, kernel, tr)
+                                                want_k, kernel, tr,
+                                                op=op, aux=aux, eps=eps)
             lost_c, err_c, nq = self._collect(pending, jobs, results, tr)
             nq_total += nq
             lost = sorted(lost + lost_c)
@@ -782,3 +813,24 @@ class ExchangeWorkerPool:
             tr.metrics.set("pool.respawns", self.respawns)
             tr.metrics.set("pool.retried_jobs", self.retried_jobs)
         return results, nq_total
+
+    def ri3c(self, aux, jobs: list[RankJob], eps: float = 0.0,
+             tracer=None) -> tuple[dict[int, np.ndarray], int]:
+        """Assemble 3-index RI slabs ``(uv|P)`` sharded by aux shells.
+
+        Each rank job's ``pairs`` is a list of auxiliary shell indices;
+        the returned dict maps the job's rank id to its slab (rows
+        ordered by that index list; see
+        :func:`repro.integrals.ri.three_center_slab`).  The second
+        element counts evaluated shell triples.
+
+        Rides the ``exec`` retry loop, so worker death/hang recovery,
+        respawn budgets, and ``REPRO_POOL_FAULT`` injection behave
+        exactly as for J/K builds — and since slabs for distinct aux
+        shells are disjoint, a recovered assembly is bit-identical to
+        an undisturbed one.
+        """
+        results, nints = self.exchange(None, jobs, want_j=False,
+                                       want_k=False, tracer=tracer,
+                                       op="ri3c", aux=aux, eps=eps)
+        return {rank: slab for rank, (slab, _) in results.items()}, nints

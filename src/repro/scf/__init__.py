@@ -5,6 +5,7 @@ from .fock import (DirectJKBuilder, coulomb_from_tensor, exchange_from_tensor,
                    jk_from_tensor)
 from .guess import core_guess, density_from_orbitals, orthogonalizer
 from .rhf import RHF, SCFResult, run_rhf
+from .ri_jk import RIJKBuilder
 from .soscf import ADIIS, EDIIS, NewtonSOSCF
 from .uhf import UHF, UHFResult, run_uhf
 from .mp2 import ao_to_mo, mp2_energy
@@ -17,6 +18,7 @@ __all__ = [
     "jk_from_tensor",
     "core_guess", "density_from_orbitals", "orthogonalizer",
     "RHF", "SCFResult", "run_rhf",
+    "RIJKBuilder",
     "ADIIS", "EDIIS", "NewtonSOSCF",
     "UHF", "UHFResult", "run_uhf",
     "ao_to_mo", "mp2_energy",

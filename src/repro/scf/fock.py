@@ -41,14 +41,11 @@ def shell_slices(basis: BasisSet) -> list[slice]:
     """All shell AO slices, cached per basis object.
 
     Hoists the four ``basis.shell_slice`` lookups out of the innermost
-    scatter loops: every scatter of every build on the same basis reads
-    this one list.
+    scatter loops.  Delegates to :meth:`BasisSet.shell_slices` so the
+    4-index scatters and the 2-/3-index RI builders all read the one
+    list cached on the basis object.
     """
-    cached = basis.__dict__.get("_slice_cache")
-    if cached is None:
-        cached = [basis.shell_slice(i) for i in range(basis.nshell)]
-        basis._slice_cache = cached
-    return cached
+    return basis.shell_slices()
 
 
 # The 8 ordered images of a unique quartet (i, j, k, l).  Each axes

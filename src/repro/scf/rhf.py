@@ -178,7 +178,7 @@ class RHF:
                  conv_tol: float = 1e-8, max_iter: int = 100,
                  diis_size: int = 8, level_shift: float = 0.0,
                  damping: float = 0.0, smearing: float = 0.0,
-                 jk_pool=None, k_builder=None, config=None,
+                 jk_pool=None, k_builder=None, ri_builder=None, config=None,
                  soscf_rough: str = "adiis",
                  soscf_state: dict | None = None):
         from ..runtime.execconfig import resolve_execution
@@ -218,15 +218,28 @@ class RHF:
                 "Newton solver; use scf_solver='diis' with smearing")
         self.jk_pool = jk_pool
         self.k_builder = k_builder
+        self.ri_builder = ri_builder
         if k_builder is not None and mode != "direct":
             raise ValueError("k_builder requires mode='direct' (the "
                              "in-core tensor path builds J and K together)")
+        if self.config.jk == "ri":
+            if mode != "direct":
+                raise ValueError("jk='ri' requires mode='direct' (the "
+                                 "in-core path materializes the exact "
+                                 "4-index tensor — fitting it buys nothing)")
+            if k_builder is not None:
+                raise ValueError("jk='ri' is incompatible with an "
+                                 "incremental k_builder: the fitted K is "
+                                 "rebuilt from the cached B tensor instead")
+        elif ri_builder is not None:
+            raise ValueError("ri_builder requires jk='ri'")
         if not 0.0 <= damping < 1.0:
             raise ValueError("damping must be in [0, 1)")
         if smearing < 0.0:
             raise ValueError("smearing must be non-negative")
         self._eri = None
         self._direct: DirectJKBuilder | None = None
+        self._owns_jk = True
 
     def _next_density(self, Fd, X, S, D_old, nocc):
         """Diagonalize the (possibly level-shifted) Fock matrix and form
@@ -266,6 +279,21 @@ class RHF:
             hcore = T + V
             if self.mode == "incore":
                 self._eri = eri_tensor(self.basis)
+            elif self.config.jk == "ri":
+                from .ri_jk import RIJKBuilder
+
+                if self.ri_builder is not None:
+                    # a persistent builder (the MD path) carries its B
+                    # cache across runs; re-target it if the caller has
+                    # not already done so
+                    if self.ri_builder.basis is not self.basis:
+                        self.ri_builder.reset(self.basis)
+                    self._direct = self.ri_builder
+                    self._owns_jk = False
+                else:
+                    self._direct = RIJKBuilder(
+                        self.basis, eps=self.screen_eps, config=self.config,
+                        pool=self.jk_pool)
             else:
                 self._direct = DirectJKBuilder(
                     self.basis, eps=self.screen_eps, config=self.config,
@@ -339,8 +367,9 @@ class RHF:
                         D, C, eps = self._next_density(Fd, X, S, D, nocc)
         finally:
             # a pool this run spawned dies with the run; an external
-            # jk_pool is left running for the caller to reuse
-            if self._direct is not None:
+            # jk_pool (or a persistent ri_builder with its B cache) is
+            # left running for the caller to reuse
+            if self._direct is not None and self._owns_jk:
                 self._direct.close()
         if tr.enabled:
             tr.metrics.set("scf.niter", it)
@@ -515,7 +544,7 @@ class RHF:
                 niter = nrough + out["niter"]
         finally:
             # mirror run(): a pool this run spawned dies with the run
-            if self._direct is not None:
+            if self._direct is not None and self._owns_jk:
                 self._direct.close()
         if tr.enabled:
             tr.metrics.set("scf.niter", niter)

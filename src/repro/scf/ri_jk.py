@@ -1,0 +1,247 @@
+"""Density-fitted (RI) J/K builder: drop-in replacement for the direct
+quartet walk.
+
+One fitted tensor ``B[P,uv] = (P|Q)^{-1/2} (Q|uv)`` is assembled per
+geometry (serially or sharded over the worker pool by auxiliary-shell
+slices) and then *every* J/K build of every SCF iteration is dense
+linear algebra:
+
+* RI-J — two GEMMs: ``gamma_P = B[P,uv] D_uv``, then
+  ``J_uv = gamma_P B[P,uv]``;
+* RI-K — a half-transform over the occupied space of the density:
+  ``D = V diag(w) V^T`` (rank ``nocc`` for SCF densities; signed ``w``
+  keeps response densities from the Newton solver exact), then
+  ``Y[P,u,i] = B[P,u,v] V_vi`` and ``K = sum_i w_i Y_i Y_i^T``.
+
+The builder exposes the :class:`~repro.scf.fock.DirectJKBuilder`
+surface (``build``/``close``/``exchange_energy``) so the SCF drivers,
+the SOSCF response builds, and the MD force engine dispatch on
+``ExecutionConfig(jk=...)`` without touching their loops; ``reset``
+invalidates the cached tensor at geometry jumps (the MD path), which
+is what makes the cross-iteration caching safe.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from ..basis.basisset import BasisSet
+from ..basis.auxbasis import build_aux_basis
+from ..integrals.eri import ERIEngine
+from ..integrals.ri import (aux_shard_slices, inv_sqrt_metric, metric_2c,
+                            three_center_slab)
+
+__all__ = ["RIJKBuilder"]
+
+#: Relative cutoff on density eigenvalues entering the RI-K
+#: half-transform; directions below it contribute nothing to K at
+#: working precision.
+DENSITY_EIG_CUT = 1e-12
+
+
+class RIJKBuilder:
+    """Density-fitted J/K builds with a cached per-geometry ``B`` tensor.
+
+    Parameters mirror :class:`~repro.scf.fock.DirectJKBuilder`: ``eps``
+    is the Schwarz threshold for the 3-index assembly
+    (``|(uv|P)| <= Q_uv * Q_P``, sharing the orbital-pair bound cache
+    with the direct path), ``config`` selects the executor and carries
+    the telemetry sinks, and an externally owned pool can be shared.
+
+    The expensive work — metric, 3-index tensor, ``B`` — runs lazily on
+    the first :meth:`build` after construction or :meth:`reset` and is
+    reused by every later build until the next reset; the counters
+    ``scf.ri_b_builds`` / ``scf.ri_b_reuses`` in ``--profile`` make the
+    caching visible.
+    """
+
+    def __init__(self, basis: BasisSet, eps: float = 1e-10,
+                 pool=None, config=None, aux: BasisSet | None = None):
+        from ..runtime.execconfig import resolve_execution
+
+        self.config = resolve_execution(config, owner="RIJKBuilder")
+        self.basis = basis
+        self.eps = eps
+        self.executor = self.config.executor
+        self.degraded = False
+        self.engine = ERIEngine(basis)
+        self.aux = aux if aux is not None else build_aux_basis(basis)
+        self._B: np.ndarray | None = None      # (naux, nbf, nbf)
+        self.b_builds = 0                      # B assemblies (geometries)
+        self.b_reuses = 0                      # builds served from cache
+        self.ints_3c = 0                       # shell triples, last assembly
+        self._pool = None
+        self._owns_pool = False
+        if self.executor == "process":
+            from ..runtime.pool import ExchangeWorkerPool
+
+            if pool is not None and pool.basis is not basis:
+                pool.reset(basis)
+            self._pool = pool or ExchangeWorkerPool(
+                basis, nworkers=self.config.nworkers,
+                timeout=self.config.pool_timeout,
+                max_retries=self.config.pool_max_retries)
+            self._owns_pool = pool is None
+
+    # --- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool if this builder owns one (the cached
+        ``B`` tensor survives — later builds run serially)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def reset(self, basis: BasisSet) -> None:
+        """Re-target at a new geometry: rebuild engine and auxiliary
+        basis, invalidate ``B``, and re-point a shared pool.
+
+        This is the MD-step path — the per-geometry tensor must never
+        leak across a geometry jump.
+        """
+        self.basis = basis
+        self.engine = ERIEngine(basis)
+        self.aux = build_aux_basis(basis)
+        self._B = None
+        if self._pool is not None and not self._pool.closed \
+                and self._pool.basis is not basis:
+            self._pool.reset(basis)
+
+    def _degrade(self, reason, tr) -> None:
+        """Give up on the pool for the rest of this builder's life."""
+        warnings.warn(
+            f"RIJKBuilder: worker pool is unrecoverable ({reason}); "
+            "falling back to the serial executor for this and later "
+            "assemblies", RuntimeWarning, stacklevel=4)
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            if self._owns_pool:
+                pool.close(force=True)
+        self.executor = "serial"
+        self.degraded = True
+        if tr.enabled:
+            tr.metrics.count("pool.degraded_builds", 1)
+
+    # --- B-tensor assembly ---------------------------------------------------
+
+    def _assemble_serial(self, tr) -> np.ndarray:
+        slab, nints = three_center_slab(self.basis, self.aux,
+                                        range(self.aux.nshell), self.eps,
+                                        engine=self.engine)
+        self.ints_3c = nints
+        return slab
+
+    def _assemble_pooled(self, tr) -> np.ndarray:
+        """Shard the 3-index assembly over the pool by aux-shell slices.
+
+        Rank ``r`` evaluates the aux shells of shard ``r`` (LPT-packed
+        by function count); the parent scatters each slab's rows into
+        the full tensor by aux-shell slice.  Rows for distinct aux
+        shells are disjoint, so any shard count — and any recovery
+        re-run — assembles the bit-identical tensor.
+        """
+        from ..runtime.pool import RankJob
+
+        shards = aux_shard_slices(self.aux, self._pool.nworkers)
+        jobs = [RankJob(rank=r, pairs=list(shard),
+                        cost=float(sum(self.aux.shells[i].nfunc
+                                       for i in shard)))
+                for r, shard in enumerate(shards)]
+        slabs, nints = self._pool.ri3c(self.aux, jobs, eps=self.eps,
+                                       tracer=tr)
+        self.ints_3c = nints
+        T = np.empty((self.aux.nbf, self.basis.nbf, self.basis.nbf))
+        aslices = self.aux.shell_slices()
+        for r, shard in enumerate(shards):
+            slab = slabs[r]
+            row = 0
+            for ai in shard:
+                sl = aslices[ai]
+                n = sl.stop - sl.start
+                T[sl] = slab[row:row + n]
+                row += n
+        return T
+
+    def _ensure_b(self) -> np.ndarray:
+        """The fitted tensor for the current geometry (cached)."""
+        from ..runtime.pool import WorkerDeathError
+
+        tr = self.config.trace
+        if self._B is not None:
+            self.b_reuses += 1
+            if tr.enabled:
+                tr.metrics.count("scf.ri_b_reuses", 1)
+            return self._B
+        with tr.span("ri.metric", cat="ri", naux=self.aux.nbf):
+            Vh = inv_sqrt_metric(metric_2c(self.aux))
+        with tr.span("ri.assemble", cat="ri", naux=self.aux.nbf,
+                     executor=self.executor):
+            if self.executor == "process":
+                if self._pool is None or self._pool.closed:
+                    self._degrade("pool already closed", tr)
+                    T = self._assemble_serial(tr)
+                else:
+                    try:
+                        T = self._assemble_pooled(tr)
+                    except WorkerDeathError as e:
+                        self._degrade(e, tr)
+                        T = self._assemble_serial(tr)
+            else:
+                T = self._assemble_serial(tr)
+            naux, nbf = self.aux.nbf, self.basis.nbf
+            self._B = (Vh @ T.reshape(naux, -1)).reshape(naux, nbf, nbf)
+        self.b_builds += 1
+        if tr.enabled:
+            tr.metrics.count("scf.ri_b_builds", 1)
+            tr.metrics.count("scf.ri_ints3c", self.ints_3c)
+            tr.metrics.set("scf.ri_naux", self.aux.nbf)
+        return self._B
+
+    def fitted_tensor(self) -> np.ndarray:
+        """The cached ``B[P,uv]`` tensor (assembled on first use).
+
+        Exposed for consumers that contract B themselves — e.g. the
+        distributed-exchange rank loop, which needs per-rank *partial*
+        K matrices rather than the full contraction."""
+        return self._ensure_b()
+
+    # --- J/K contractions ----------------------------------------------------
+
+    def build(self, D: np.ndarray, want_j: bool = True, want_k: bool = True
+              ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Fitted J and/or K for density ``D`` (AO basis, symmetric)."""
+        tr = self.config.trace
+        with tr.span("ri.build", cat="scf", executor=self.executor):
+            B = self._ensure_b()
+            nbf = self.basis.nbf
+            J = K = None
+            with tr.span("ri.contract", cat="ri", want_j=want_j,
+                         want_k=want_k):
+                Bf = B.reshape(self.aux.nbf, nbf * nbf)
+                if want_j:
+                    gamma = Bf @ np.asarray(D, dtype=np.float64).ravel()
+                    J = (gamma @ Bf).reshape(nbf, nbf)
+                if want_k:
+                    w, V = np.linalg.eigh(np.asarray(D, dtype=np.float64))
+                    wmax = float(np.abs(w).max()) if w.size else 0.0
+                    keep = np.abs(w) > DENSITY_EIG_CUT * max(wmax, 1e-300)
+                    if not keep.any():
+                        K = np.zeros((nbf, nbf))
+                    else:
+                        Vk = V[:, keep]                 # (nbf, k)
+                        # Y[P,u,i] = sum_v B[P,u,v] Vk[v,i]
+                        Y = B @ Vk                      # (naux, nbf, k)
+                        Yw = Y * w[keep][None, None, :]
+                        K = np.einsum("Pui,Pvi->uv", Yw, Y, optimize=True)
+                        K = 0.5 * (K + K.T)
+            if tr.enabled:
+                tr.metrics.count("scf.ri_builds", 1)
+                tr.metrics.absorb_engine(self.engine)
+        return J, K
+
+    def exchange_energy(self, D: np.ndarray) -> float:
+        """E_x^HF = -1/4 Tr(K[D] D) for a closed-shell density D."""
+        _, K = self.build(D, want_j=False, want_k=True)
+        return -0.25 * float(np.einsum("pq,pq->", K, D))

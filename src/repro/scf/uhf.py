@@ -6,10 +6,18 @@ driver provides the same machinery as :class:`~repro.scf.rhf.RHF` for
 arbitrary spin multiplicities: separate alpha/beta Fock operators,
 commutator-DIIS on the stacked spin blocks, level shifting, and the
 spin-contamination diagnostic <S^2>.
+
+Execution rides the same :class:`repro.runtime.ExecutionConfig` as the
+restricted driver: ``mode="direct"`` builds J/K through a
+:class:`~repro.scf.fock.DirectJKBuilder` (quartet walk, optionally on
+the worker pool) or, with ``jk="ri"``, through a
+:class:`~repro.scf.ri_jk.RIJKBuilder` whose fitted tensor is shared by
+the J build and *both* spin exchange builds of every iteration.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,7 +27,7 @@ from ..chem.molecule import Molecule, nuclear_repulsion
 from ..integrals import (eri_tensor, kinetic_matrix, nuclear_matrix,
                          overlap_matrix)
 from .diis import DIIS
-from .fock import coulomb_from_tensor, exchange_from_tensor
+from .fock import DirectJKBuilder, coulomb_from_tensor, exchange_from_tensor
 from .guess import orthogonalizer
 
 __all__ = ["UHFResult", "UHF", "run_uhf"]
@@ -44,6 +52,9 @@ class UHFResult:
     nalpha: int
     nbeta: int
     history: list[float] = field(default_factory=list)
+    solver: str = "diis"
+    fock_builds: int = 0
+    wall_s: float = 0.0
 
     @property
     def D_total(self) -> np.ndarray:
@@ -68,28 +79,72 @@ class UHFResult:
         contamination = nb - float((Sab * Sab).sum())
         return exact + contamination
 
+    def summary(self) -> dict:
+        """Compact scalar surface, same envelope as the RHF result
+        (schema-versioned; see :mod:`repro.runtime.schema`)."""
+        from ..runtime.schema import result_envelope
+
+        return result_envelope(
+            "scf", wall_s=self.wall_s,
+            counters={
+                "scf.fock_builds": int(self.fock_builds),
+                "scf.niter": int(self.niter),
+            },
+            energy=float(self.energy),
+            energy_nuc=float(self.energy_nuc),
+            converged=bool(self.converged),
+            niter=int(self.niter),
+            nbf=int(self.basis.nbf),
+            nalpha=int(self.nalpha),
+            nbeta=int(self.nbeta),
+            s_squared=float(self.s_squared()),
+            solver=str(self.solver),
+            fock_builds=int(self.fock_builds),
+        )
+
 
 class UHF:
-    """Unrestricted Hartree-Fock driver (in-core ERIs).
+    """Unrestricted Hartree-Fock driver.
 
-    Parameters mirror :class:`~repro.scf.rhf.RHF`; ``break_symmetry``
-    mixes the alpha HOMO/LUMO of the initial guess, which lets
-    singlet-biradical states escape the restricted solution.
+    Parameters mirror :class:`~repro.scf.rhf.RHF` (``mode``/``config``/
+    ``jk_pool`` select in-core vs direct vs fitted integral plumbing);
+    ``break_symmetry`` mixes the alpha HOMO/LUMO of the initial guess,
+    which lets singlet-biradical states escape the restricted solution.
     """
 
     def __init__(self, mol: Molecule, basis: str | BasisSet = "sto-3g",
+                 mode: str = "incore",
                  conv_tol: float = 1e-8, max_iter: int = 150,
                  diis_size: int = 8, level_shift: float = 0.0,
-                 break_symmetry: bool = False):
+                 break_symmetry: bool = False, screen_eps: float = 1e-10,
+                 jk_pool=None, config=None):
+        from ..runtime.execconfig import resolve_execution
+
         nel = mol.nelectron
         nunpaired = mol.multiplicity - 1
         if (nel - nunpaired) % 2 != 0 or nunpaired > nel:
             raise ValueError(
                 f"multiplicity {mol.multiplicity} is impossible for "
                 f"{nel} electrons")
+        if mode not in ("incore", "direct"):
+            raise ValueError(f"mode must be 'incore' or 'direct', got {mode!r}")
+        self.config = resolve_execution(config, owner="UHF")
+        if self.config.scf_solver != "diis":
+            raise ValueError("UHF implements the DIIS reference loop only; "
+                             "the Newton solver's rotation parametrization "
+                             "is closed-shell")
+        if self.config.executor == "process" and mode != "direct":
+            raise ValueError("executor='process' requires mode='direct' "
+                             "(the in-core tensor path has no quartet loop "
+                             "to distribute)")
+        if self.config.jk == "ri" and mode != "direct":
+            raise ValueError("jk='ri' requires mode='direct' (the in-core "
+                             "path materializes the exact 4-index tensor)")
         self.mol = mol
         self.basis = basis if isinstance(basis, BasisSet) \
             else build_basis(mol, basis)
+        self.mode = mode
+        self.screen_eps = screen_eps
         self.nalpha = (nel + nunpaired) // 2
         self.nbeta = (nel - nunpaired) // 2
         self.conv_tol = conv_tol
@@ -97,13 +152,50 @@ class UHF:
         self.diis_size = diis_size
         self.level_shift = level_shift
         self.break_symmetry = break_symmetry
+        self.jk_pool = jk_pool
+        self._eri = None
+        self._direct = None
+
+    # --- integral plumbing ---------------------------------------------------
+
+    def _setup_jk(self) -> None:
+        if self.mode == "incore":
+            self._eri = eri_tensor(self.basis)
+        elif self.config.jk == "ri":
+            from .ri_jk import RIJKBuilder
+
+            self._direct = RIJKBuilder(self.basis, eps=self.screen_eps,
+                                       config=self.config, pool=self.jk_pool)
+        else:
+            self._direct = DirectJKBuilder(self.basis, eps=self.screen_eps,
+                                           config=self.config,
+                                           pool=self.jk_pool)
+
+    def _build_jk(self, Da: np.ndarray, Db: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(J[Da+Db], K[Da], K[Db])`` for the current spin densities."""
+        if self.mode == "incore":
+            Dt = Da + Db
+            return (coulomb_from_tensor(self._eri, Dt),
+                    exchange_from_tensor(self._eri, Da),
+                    exchange_from_tensor(self._eri, Db))
+        J, _ = self._direct.build(Da + Db, want_k=False)
+        _, Ka = self._direct.build(Da, want_j=False)
+        _, Kb = self._direct.build(Db, want_j=False)
+        return J, Ka, Kb
+
+    # --- SCF loop ------------------------------------------------------------
 
     def run(self, D0: tuple[np.ndarray, np.ndarray] | None = None
             ) -> UHFResult:
         """Iterate the unrestricted SCF equations to self-consistency."""
-        S = overlap_matrix(self.basis)
-        hcore = kinetic_matrix(self.basis) + nuclear_matrix(self.basis)
-        eri = eri_tensor(self.basis)
+        t0 = time.perf_counter()
+        tr = self.config.trace
+        with tr.span("scf.setup", cat="scf", mode=self.mode,
+                     nbf=self.basis.nbf):
+            S = overlap_matrix(self.basis)
+            hcore = kinetic_matrix(self.basis) + nuclear_matrix(self.basis)
+            self._setup_jk()
         X = orthogonalizer(S)
         enuc = nuclear_repulsion(self.mol)
         na, nb = self.nalpha, self.nbeta
@@ -134,42 +226,56 @@ class UHF:
         energy = 0.0
         history: list[float] = []
         converged = False
+        fock_builds = 0
         it = 0
-        for it in range(1, self.max_iter + 1):
-            Dt = Da + Db
-            J = coulomb_from_tensor(eri, Dt)
-            Ka = exchange_from_tensor(eri, Da)
-            Kb = exchange_from_tensor(eri, Db)
-            Fa = hcore + J - Ka
-            Fb = hcore + J - Kb
-            e_el = 0.5 * float(np.einsum("pq,pq->", Dt, hcore)
-                               + np.einsum("pq,pq->", Da, Fa)
-                               + np.einsum("pq,pq->", Db, Fb))
-            energy = e_el + enuc
-            history.append(energy)
-            err_a = X.T @ (Fa @ Da @ S - S @ Da @ Fa) @ X
-            err_b = X.T @ (Fb @ Db @ S - S @ Db @ Fb) @ X
-            err = np.vstack([err_a, err_b])
-            stacked = np.vstack([Fa, Fb])
-            diis.push(stacked, err)
-            may_exit = D0 is None or it > 1
-            if may_exit and diis.error_norm() < self.conv_tol:
-                converged = True
-                break
-            Fd = diis.extrapolate()
-            Fa_d, Fb_d = Fd[:nbf], Fd[nbf:]
+        try:
+            for it in range(1, self.max_iter + 1):
+                with tr.span("scf.iteration", cat="scf", it=it):
+                    Dt = Da + Db
+                    J, Ka, Kb = self._build_jk(Da, Db)
+                    fock_builds += 1
+                    Fa = hcore + J - Ka
+                    Fb = hcore + J - Kb
+                    e_el = 0.5 * float(np.einsum("pq,pq->", Dt, hcore)
+                                       + np.einsum("pq,pq->", Da, Fa)
+                                       + np.einsum("pq,pq->", Db, Fb))
+                    energy = e_el + enuc
+                    history.append(energy)
+                    err_a = X.T @ (Fa @ Da @ S - S @ Da @ Fa) @ X
+                    err_b = X.T @ (Fb @ Db @ S - S @ Db @ Fb) @ X
+                    err = np.vstack([err_a, err_b])
+                    stacked = np.vstack([Fa, Fb])
+                    with tr.span("scf.diis", cat="diis"):
+                        diis.push(stacked, err)
+                    may_exit = D0 is None or it > 1
+                    if may_exit and diis.error_norm() < self.conv_tol:
+                        converged = True
+                        break
+                    with tr.span("scf.update", cat="scf"):
+                        Fd = diis.extrapolate()
+                        Fa_d, Fb_d = Fd[:nbf], Fd[nbf:]
 
-            def advance(F, D_old, nocc):
-                f = X.T @ F @ X
-                if self.level_shift > 0.0:
-                    proj = X.T @ S @ D_old @ S @ X
-                    f = f + self.level_shift * (np.eye(f.shape[0]) - proj)
-                eps, Cp = np.linalg.eigh(f)
-                C = X @ Cp
-                return make_density(C, nocc), C, eps
+                        def advance(F, D_old, nocc):
+                            f = X.T @ F @ X
+                            if self.level_shift > 0.0:
+                                proj = X.T @ S @ D_old @ S @ X
+                                f = f + self.level_shift * (
+                                    np.eye(f.shape[0]) - proj)
+                            eps, Cp = np.linalg.eigh(f)
+                            C = X @ Cp
+                            return make_density(C, nocc), C, eps
 
-            Da, Ca, eps_a = advance(Fa_d, Da, na)
-            Db, Cb, eps_b = advance(Fb_d, Db, nb)
+                        Da, Ca, eps_a = advance(Fa_d, Da, na)
+                        Db, Cb, eps_b = advance(Fb_d, Db, nb)
+        finally:
+            # a pool this run spawned dies with the run; an external
+            # jk_pool is left running for the caller to reuse
+            if self._direct is not None:
+                self._direct.close()
+        if tr.enabled:
+            tr.metrics.set("scf.niter", it)
+            tr.metrics.set("scf.converged", int(converged))
+            tr.metrics.count("scf.fock_builds", fock_builds)
         # canonicalize against the final Fock matrices (the loop's
         # orbitals lag one iteration behind; see RHF.run)
         _, Ca, eps_a = self._final_orbitals(Fa, X)
@@ -178,6 +284,8 @@ class UHF:
             energy=energy, energy_nuc=enuc, converged=converged, niter=it,
             C_a=Ca, C_b=Cb, eps_a=eps_a, eps_b=eps_b, D_a=Da, D_b=Db,
             S=S, basis=self.basis, nalpha=na, nbeta=nb, history=history,
+            solver=self.config.scf_solver, fock_builds=fock_builds,
+            wall_s=time.perf_counter() - t0,
         )
 
     @staticmethod

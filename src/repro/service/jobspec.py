@@ -40,7 +40,11 @@ _MD_METHODS = ("hf", "lda", "pbe", "pbe0")
 _THERMOSTATS = ("none", "csvr", "berendsen")
 
 #: Fields that never enter the canonical key (execution placement).
-_EXECUTION_FIELDS = ("executor", "nworkers", "label")
+#: ``jk`` lives here by design: the fitted path reproduces the direct
+#: result within its documented error bound, and screening campaigns
+#: select it for *throughput* — a direct rerun of an RI job (or vice
+#: versa) is a cache hit, exactly like a serial rerun of a pool job.
+_EXECUTION_FIELDS = ("executor", "nworkers", "label", "jk")
 
 #: Fields that only matter for (and are only hashed for) MD jobs.
 _MD_FIELDS = ("steps", "dt_fs", "temperature", "thermostat", "tau_fs",
@@ -105,6 +109,11 @@ class JobSpec:
         Maxwell-Boltzmann velocities and a CSVR thermostat stream.
     executor / nworkers:
         Execution placement — never hashed.
+    jk:
+        J/K engine placement: ``"direct"`` (exact quartet walk) or
+        ``"ri"`` (density-fitted; one cached B tensor per geometry).
+        Placement, not physics — never hashed, so the cache serves
+        either path's result for the same spec.
     label:
         Free-form display name — never hashed.
     """
@@ -132,6 +141,7 @@ class JobSpec:
     # --- execution placement (never hashed) ---
     executor: str = "serial"
     nworkers: int | None = None
+    jk: str = "direct"
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -173,6 +183,12 @@ class JobSpec:
         if self.executor not in ("serial", "process"):
             raise ValueError(f"JobSpec.executor must be 'serial' or "
                              f"'process', got {self.executor!r}")
+        if self.jk not in ("direct", "ri"):
+            raise ValueError(f"JobSpec.jk must be 'direct' or 'ri', "
+                             f"got {self.jk!r}")
+        if self.jk == "ri" and self.mode == "incore":
+            raise ValueError("JobSpec: jk='ri' requires direct J/K "
+                             "builds, not mode='incore'")
         if self.thermostat not in _THERMOSTATS:
             raise ValueError(
                 f"JobSpec.thermostat must be one of {_THERMOSTATS}, "
@@ -198,10 +214,10 @@ class JobSpec:
                 raise ValueError("JobSpec: a thermostat needs a "
                                  "temperature")
         if self.executor == "process":
-            if self.method != "hf":
+            if self.method not in ("hf", "uhf"):
                 raise ValueError(
                     "JobSpec: executor='process' is wired through the "
-                    "direct RHF builder; use method='hf'")
+                    "direct HF builders; use method='hf' or 'uhf'")
             if self.mode == "incore":
                 raise ValueError("JobSpec: executor='process' requires "
                                  "direct J/K builds, not mode='incore'")
@@ -332,16 +348,20 @@ def solvent_screening_specs(solvents=("PC", "DMSO", "ACN"),
                             methods=("hf",), basis: str = "sto-3g",
                             nperturb: int = 1, perturb: float = 0.0,
                             seeds=(0,), kind: str = "scf",
+                            jks=("direct",),
                             **overrides) -> list[JobSpec]:
     """The F7 campaign axis product: solvents x methods x perturbed
-    geometries x seeds.
+    geometries x seeds x J/K engines.
 
     Each solvent contributes its quantum model fragment (the geometry
     the attack profiles use); ``nperturb`` > 1 adds seeded coordinate
     jitters of width ``perturb`` Bohr; for ``kind="md"`` the ``seeds``
     axis varies the thermostat/velocity seed (distinct cache entries by
-    construction).  Extra keyword arguments pass through to every
-    :class:`JobSpec`.
+    construction).  ``jks`` fans each point over J/K engines — a
+    *placement* axis: with both ``("direct", "ri")`` the second variant
+    of every point is a cache hit unless the cache is cold, which is
+    exactly how the direct-vs-fitted crossover is measured in situ.
+    Extra keyword arguments pass through to every :class:`JobSpec`.
     """
     from ..liair.solvents import get_solvent
 
@@ -354,12 +374,14 @@ def solvent_screening_specs(solvents=("PC", "DMSO", "ACN"),
         for method in methods:
             for ip in range(max(1, int(nperturb))):
                 for seed in (seeds if kind == "md" else seeds[:1]):
-                    specs.append(JobSpec(
-                        kind=kind, molecule=mol_name, basis=basis,
-                        method=method,
-                        perturb=perturb if ip else 0.0, perturb_seed=ip,
-                        seed=int(seed),
-                        label=f"{solvent.name}/{method}"
-                              f"/p{ip}/s{seed}",
-                        **overrides))
+                    for jk in jks:
+                        specs.append(JobSpec(
+                            kind=kind, molecule=mol_name, basis=basis,
+                            method=method, jk=jk,
+                            perturb=perturb if ip else 0.0,
+                            perturb_seed=ip, seed=int(seed),
+                            label=f"{solvent.name}/{method}"
+                                  f"/p{ip}/s{seed}"
+                                  + (f"/{jk}" if len(jks) > 1 else ""),
+                            **overrides))
     return specs

@@ -268,6 +268,7 @@ class CampaignService:
                 by_status=dict(sorted(by_status.items())),
                 jobs=[{"id": j.id, "label": j.spec.label or f"job-{j.id}",
                        "kind": j.spec.kind, "status": j.status,
+                       "jk": j.spec.jk,
                        "attempts": j.attempts, "cache_hit": j.cache_hit,
                        "steps_done": j.steps_done, "error": j.error}
                       for _, j in sorted(self.jobs.items())],
@@ -322,7 +323,8 @@ class CampaignService:
                 failed=sum(j.status == "failed" for j in jobs),
                 jobs=[{"id": j.id,
                        "label": j.spec.label or f"job-{j.id}",
-                       "status": j.status, "cache_hit": j.cache_hit,
+                       "status": j.status, "jk": j.spec.jk,
+                       "cache_hit": j.cache_hit,
                        "attempts": j.attempts, "error": j.error}
                       for j in jobs],
             )
@@ -371,6 +373,7 @@ class CampaignService:
         cfg = config.replace(executor=spec.executor,
                              nworkers=spec.nworkers,
                              kernel=spec.kernel,
+                             jk=spec.jk,
                              scf_solver=spec.scf_solver,
                              checkpoint_dir=None)
         if spec.kind == "md" and self.directory is not None:

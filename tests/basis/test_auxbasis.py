@@ -1,0 +1,68 @@
+"""Even-tempered auxiliary-basis generator."""
+
+import numpy as np
+import pytest
+
+from repro.basis import build_aux_basis, build_basis, even_tempered_exponents
+from repro.chem import builders
+
+pytestmark = pytest.mark.ri
+
+
+class TestEvenTemperedExponents:
+    def test_covers_range(self):
+        e = even_tempered_exponents(0.1, 50.0, beta=2.0)
+        assert e[0] == pytest.approx(0.1)
+        assert e[-1] >= 50.0
+        assert np.all(np.diff(np.log(e)) > 0)
+
+    def test_geometric_ratio(self):
+        e = even_tempered_exponents(0.5, 100.0, beta=2.5)
+        ratios = e[1:] / e[:-1]
+        assert np.allclose(ratios, 2.5)
+
+    def test_degenerate_range_single_exponent(self):
+        e = even_tempered_exponents(3.0, 3.0)
+        assert len(e) == 1 and e[0] == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("emin,emax,beta", [
+        (0.0, 1.0, 2.0), (-1.0, 1.0, 2.0), (2.0, 1.0, 2.0),
+        (0.1, 1.0, 1.0), (0.1, 1.0, 0.5),
+    ])
+    def test_rejects_bad_inputs(self, emin, emax, beta):
+        with pytest.raises(ValueError):
+            even_tempered_exponents(emin, emax, beta)
+
+
+class TestBuildAuxBasis:
+    def test_water_dimensions(self, water_basis):
+        aux = build_aux_basis(water_basis)
+        # the fitting set must overcomplete the orbital product space
+        assert aux.nbf > water_basis.nbf
+        assert aux.name == "sto-3g-autoaux"
+        assert aux.molecule is water_basis.molecule
+
+    def test_single_primitive_shells(self, water_basis):
+        aux = build_aux_basis(water_basis)
+        assert all(sh.nprim == 1 for sh in aux.shells)
+
+    def test_angular_layer_beyond_product_limit(self, water_basis):
+        # sto-3g water: lmax = 1, products reach l = 2, generator adds
+        # the l = 3 correction layer
+        aux = build_aux_basis(water_basis)
+        lmax_orb = max(sh.l for sh in water_basis.shells)
+        assert max(sh.l for sh in aux.shells) == 2 * lmax_orb + 1
+
+    def test_same_element_same_plan(self):
+        basis = build_basis(builders.water(), "sto-3g")
+        aux = build_aux_basis(basis)
+        by_atom = {}
+        for sh in aux.shells:
+            by_atom.setdefault(sh.atom, []).append((sh.l, float(sh.exps[0])))
+        # the two hydrogens carry identical fitting sets
+        assert by_atom[1] == by_atom[2]
+
+    def test_beta_controls_density(self, water_basis):
+        dense = build_aux_basis(water_basis, beta=1.6)
+        sparse = build_aux_basis(water_basis, beta=3.0)
+        assert dense.nbf > sparse.nbf

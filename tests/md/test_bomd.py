@@ -67,3 +67,51 @@ def test_bomd_with_temperature_initialization():
     traj = b.run(3)
     assert len(traj) == 4
     assert np.abs(traj[0].velocities).max() > 0
+
+
+@pytest.mark.ri
+class TestRIForces:
+    def test_ri_forces_close_to_direct(self):
+        mol = builders.h2(0.60)
+        from repro.runtime import ExecutionConfig
+
+        e_d, f_d = SCFForceEngine(mol, method="hf").energy_forces(mol.coords)
+        eng = SCFForceEngine(mol, method="hf",
+                             config=ExecutionConfig(jk="ri"))
+        e_r, f_r = eng.energy_forces(mol.coords)
+        assert abs(e_r - e_d) < 1e-4
+        assert np.abs(f_r - f_d).max() < 1e-3
+        # one B assembly per displaced geometry of the FD stencil, all
+        # SCF iterations at each geometry served from the cache
+        assert eng._ri is not None
+        assert eng._ri.b_builds == 1 + 2 * mol.natom * 3
+        assert eng._ri.b_reuses > 0
+
+    def test_ri_state_round_trip_guards_engine(self):
+        from repro.md.bomd import CheckpointError
+        from repro.runtime import ExecutionConfig
+
+        mol = builders.h2(0.75)
+        ri = SCFForceEngine(mol, method="hf",
+                            config=ExecutionConfig(jk="ri"))
+        ri.energy_forces(mol.coords)
+        state = ri.get_state()
+        assert state["jk"] == "ri"
+        direct = SCFForceEngine(mol, method="hf")
+        with pytest.raises(CheckpointError, match="jk"):
+            direct.set_state(state)
+        # same-config restore works and drops the stale fitted tensor
+        fresh = SCFForceEngine(mol, method="hf",
+                               config=ExecutionConfig(jk="ri"))
+        fresh.set_state(state)
+        assert fresh._ri is None
+
+    def test_ri_rejects_incremental_and_dft(self):
+        from repro.runtime import ExecutionConfig
+
+        with pytest.raises(ValueError, match="incremental"):
+            SCFForceEngine(builders.h2(), method="hf", incremental=True,
+                           config=ExecutionConfig(jk="ri"))
+        with pytest.raises(ValueError, match="direct RHF"):
+            SCFForceEngine(builders.h2(), method="pbe",
+                           config=ExecutionConfig(jk="ri"))

@@ -173,3 +173,33 @@ def test_solvent_screening_md_seed_axis():
 def test_solvent_screening_rejects_unknown_solvent():
     with pytest.raises(Exception):
         solvent_screening_specs(solvents=("XYZ",))
+
+
+# --- jk placement axis --------------------------------------------------------
+
+
+def test_key_ignores_jk_engine():
+    # direct and RI answer the same physical question to within the
+    # fitted error bar, so either result may serve the cache entry
+    a = JobSpec(molecule="h2")
+    assert a.canonical_key() == a.replace(jk="ri").canonical_key()
+
+
+def test_jk_validation():
+    with pytest.raises(ValueError, match="'direct' or 'ri'"):
+        JobSpec(molecule="h2", jk="cholesky")
+    with pytest.raises(ValueError, match="incore"):
+        JobSpec(molecule="h2", jk="ri", mode="incore")
+    JobSpec(molecule="h2", jk="ri", mode="direct")    # fine
+    JobSpec(molecule="h2", jk="ri")                   # mode resolved later
+
+
+def test_solvent_screening_jk_axis():
+    specs = solvent_screening_specs(solvents=("PC",), methods=("hf",),
+                                    jks=("direct", "ri"))
+    assert len(specs) == 2
+    assert {s.jk for s in specs} == {"direct", "ri"}
+    # one physical point: the jk axis never splits the cache key
+    assert len({s.canonical_key() for s in specs}) == 1
+    assert {s.label for s in specs} == {"PC/hf/p0/s0/direct",
+                                        "PC/hf/p0/s0/ri"}
