@@ -89,6 +89,16 @@ def run_scf(spec: JobSpec | dict,
     if spec.method == "uhf" or mol.multiplicity > 1:
         from .scf import run_uhf
 
+        if cfg.scf_solver not in ("diis", "auto"):
+            # reject at the boundary instead of silently downgrading
+            # the requested solver (or failing deep inside UHF.__init__
+            # for specs whose inline molecule carries the open shell)
+            raise ValueError(
+                f"scf_solver={cfg.scf_solver!r} is not available for the "
+                f"UHF/open-shell route (molecule "
+                f"{mol.name!r}, multiplicity {mol.multiplicity}): the "
+                f"Newton solver's rotation parametrization is "
+                f"closed-shell only — use scf_solver='diis'")
         kwargs = {"config": cfg.replace(scf_solver="diis"),
                   "conv_tol": spec.conv_tol,
                   "screen_eps": spec.screen_eps}
@@ -132,23 +142,32 @@ def run_scf(spec: JobSpec | dict,
 
 def _build_bomd(spec: JobSpec, cfg: ExecutionConfig,
                 restore_from=None):
-    """Fresh-or-restored BOMD runner for a spec.
+    """Fresh-or-restored MD runner for a spec.
 
     ``restore_from`` names an explicit snapshot directory (missing or
     corrupt is a :class:`~repro.runtime.CheckpointError`); ``None``
     restores automatically whenever the config's checkpoint directory
     already holds a snapshot; ``False`` never restores (fresh start
-    even over an existing checkpoint directory).
+    even over an existing checkpoint directory).  Restores dispatch on
+    the snapshot's own ``kind`` tag (:func:`repro.md.restore_md`), so
+    a plain BOMD checkpoint and a multiple-time-stepping one both
+    revive into the runner class that wrote them.
+
+    A spec with ``mts_outer > 1`` (or a config override) builds an
+    :class:`repro.md.MTSBOMD` — the r-RESPA integrator with the full
+    SCF force every ``mts_outer`` steps and the ``mts_inner`` surface
+    in between.
     """
-    from .md import BOMD
+    from .md import BOMD, MTSBOMD, restore_md
     from .runtime.checkpoint import CheckpointStore
+    from .runtime.execconfig import resolve_mts_outer
 
     if restore_from not in (None, False):
-        b = BOMD.restore(restore_from, config=cfg)
+        b = restore_md(restore_from, config=cfg)
         return b, b.state.step
     if restore_from is None and cfg.checkpoint_dir is not None and \
             CheckpointStore(cfg.checkpoint_dir).snapshots():
-        b = BOMD.restore(cfg.checkpoint_dir, config=cfg)
+        b = restore_md(cfg.checkpoint_dir, config=cfg)
         return b, b.state.step
     mol = spec.resolve_molecule()
     thermostat = None
@@ -161,6 +180,16 @@ def _build_bomd(spec: JobSpec, cfg: ExecutionConfig,
                "berendsen": BerendsenThermostat}[spec.thermostat]
         kw = {"seed": spec.seed} if spec.thermostat == "csvr" else {}
         thermostat = cls(T=spec.temperature, tau=tau, **kw)
+    n_outer = resolve_mts_outer(cfg.mts_outer if cfg.mts_outer is not None
+                                else spec.mts_outer)
+    if n_outer > 1:
+        inner = (cfg.mts_inner_engine if cfg.mts_inner_engine is not None
+                 else spec.mts_inner)
+        return MTSBOMD(mol, method=spec.method, basis=spec.basis,
+                       dt_fs=spec.dt_fs, temperature=spec.temperature,
+                       seed=spec.seed, thermostat=thermostat, config=cfg,
+                       n_outer=n_outer, inner=inner,
+                       aspc_order=spec.mts_aspc_order), None
     return BOMD(mol, method=spec.method, basis=spec.basis,
                 dt_fs=spec.dt_fs, temperature=spec.temperature,
                 seed=spec.seed, thermostat=thermostat, config=cfg), None
@@ -207,6 +236,8 @@ def run_md(spec: JobSpec | dict, config: ExecutionConfig | None = None,
             "energy_pot_final": float(final.energy_pot),
             "temperature_final": float(t_final),
             "drift": float(energy_drift(traj, masses)),
+            "mts_outer": int(getattr(b, "n_outer", 1)),
+            "mts_inner": getattr(b, "inner", None),
             "restored_from": restored_from},
         final={"step": int(final.step),
                "energy_pot": float(final.energy_pot),

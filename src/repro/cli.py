@@ -83,11 +83,20 @@ def _spec_from_args(args, kind: str):
         common.update(steps=args.steps, dt_fs=args.dt,
                       temperature=args.temperature,
                       thermostat=args.thermostat, tau_fs=args.tau,
-                      seed=args.seed)
+                      seed=args.seed,
+                      mts_outer=getattr(args, "resolved_mts_outer", 1),
+                      mts_inner=getattr(args, "mts_inner", "ff"),
+                      mts_aspc_order=_aspc_order(args))
     try:
         return JobSpec(**common)
     except ValueError as e:
         raise SystemExit(f"error: {e}") from None
+
+
+def _aspc_order(args) -> int | None:
+    """``--mts-aspc-order``: a negative value disables extrapolation."""
+    order = getattr(args, "mts_aspc_order", 2)
+    return None if order < 0 else int(order)
 
 
 def _resolve_or_die(spec):
@@ -181,11 +190,15 @@ def _cmd_md(args) -> int:
 
     from repro import api
     from repro.runtime import (CheckpointError, ExecutionConfig, Tracer,
-                               resolve_checkpoint_every)
+                               resolve_checkpoint_every, resolve_mts_outer)
 
     pool_timeout, pool_max_retries = _pool_knobs()
     try:
         checkpoint_every = resolve_checkpoint_every(args.checkpoint_every)
+        # boundary validation like the other resolve_* knobs: a bad
+        # --mts-outer dies here with an actionable message, not inside
+        # the integrator
+        args.resolved_mts_outer = resolve_mts_outer(args.mts_outer)
     except ValueError as e:
         raise SystemExit(f"error: {e}") from None
     restore_from = None
@@ -213,7 +226,9 @@ def _cmd_md(args) -> int:
                              profile=args.profile,
                              checkpoint_dir=args.checkpoint,
                              checkpoint_every=checkpoint_every,
-                             checkpoint_keep=args.checkpoint_keep)
+                             checkpoint_keep=args.checkpoint_keep,
+                             mts_outer=args.resolved_mts_outer,
+                             mts_inner_engine=args.mts_inner)
     if restore_from is None:
         mol = _resolve_or_die(spec)
         say(f"{mol.name or 'molecule'}: {mol.natom} atoms, "
@@ -221,6 +236,12 @@ def _cmd_md(args) -> int:
             f"{args.steps} steps"
             + (f", {args.thermostat} thermostat at {args.temperature} K"
                if args.thermostat != "none" else ""))
+        if args.resolved_mts_outer > 1:
+            order = _aspc_order(args)
+            say(f"MTS (r-RESPA): full {args.method.upper()} force every "
+                f"{args.resolved_mts_outer} steps, '{args.mts_inner}' "
+                f"inner surface, ASPC "
+                + (f"order {order}" if order is not None else "off"))
         if args.checkpoint:
             say(f"checkpointing to '{args.checkpoint}' every "
                 f"{checkpoint_every} steps")
@@ -292,6 +313,7 @@ def _campaign_specs(args) -> list:
                 perturb=args.perturb,
                 seeds=tuple(int(s) for s in args.seeds.split(",")),
                 kind=args.kind, jks=tuple((args.jks or args.jk).split(",")),
+                mts_outers=tuple(int(n) for n in args.mts_outers.split(",")),
                 **overrides))
         except (KeyError, ValueError) as e:
             raise SystemExit(f"error: {e}") from None
@@ -581,6 +603,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="thermostat time constant in fs (default 50)")
     pm.add_argument("--seed", type=int, default=0,
                     help="velocity/thermostat RNG seed")
+    pm.add_argument("--mts-outer", type=int, default=None, metavar="N",
+                    help="r-RESPA multiple time stepping: evaluate the "
+                         "full SCF force every N steps, integrating the "
+                         "inner motion on the --mts-inner surface "
+                         "(default: REPRO_MTS_OUTER or 1 = off)")
+    pm.add_argument("--mts-inner", default="ff",
+                    choices=["ff", "lda", "pbe"],
+                    help="fast-force surface for the MTS inner loop "
+                         "(default ff: the classical force field)")
+    pm.add_argument("--mts-aspc-order", type=int, default=2, metavar="K",
+                    help="ASPC density-extrapolation order for the outer "
+                         "SCF warm starts (default 2; negative disables)")
     pm.add_argument("--checkpoint", metavar="DIR",
                     help="snapshot the trajectory into DIR (atomic, "
                          "checksummed, ring-pruned)")
@@ -629,6 +663,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="MD steps for --kind md")
     gs.add_argument("--dt", type=float, default=0.5,
                     help="MD timestep in fs for --kind md")
+    gs.add_argument("--mts-outers", default="1", metavar="LIST",
+                    help="comma-separated RESPA full-force strides "
+                         "fanning --kind md points (e.g. '1,5'); a "
+                         "physics axis — every stride is its own cache "
+                         "entry")
     gr = gsub.add_parser("run", help="drain the queue")
     gr.add_argument("--lanes", type=_positive_int, default=1,
                     help="concurrent dispatch lanes (default 1)")

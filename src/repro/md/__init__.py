@@ -6,7 +6,9 @@ from .integrator import (ForceEngine, MDState, VelocityVerlet,
 from .thermostat import (BerendsenThermostat, CSVRThermostat,
                          VelocityRescale, restore_thermostat)
 from .forcefield import ForceField, LJParams, detect_bonds, detect_angles
-from .bomd import BOMD, SCFForceEngine
+from .bomd import BOMD, CheckpointedMD, SCFForceEngine, restore_md
+from .respa import MTSBOMD, RESPAIntegrator
+from .classical import ClassicalMD
 from .observables import energy_drift, temperature_series, rdf, msd
 from .optimize import OptimizationResult, optimize_geometry
 
@@ -16,7 +18,9 @@ __all__ = [
     "BerendsenThermostat", "CSVRThermostat", "VelocityRescale",
     "restore_thermostat",
     "ForceField", "LJParams", "detect_bonds", "detect_angles",
-    "BOMD", "SCFForceEngine",
+    "BOMD", "CheckpointedMD", "SCFForceEngine", "restore_md",
+    "MTSBOMD", "RESPAIntegrator",
+    "ClassicalMD",
     "energy_drift", "temperature_series", "rdf", "msd",
     "OptimizationResult", "optimize_geometry",
 ]

@@ -40,7 +40,7 @@ from ..scf.dft import RKS
 from ..scf.rhf import RHF, SCFResult
 from .integrator import MDState
 
-__all__ = ["SCFForceEngine", "BOMD"]
+__all__ = ["SCFForceEngine", "BOMD", "CheckpointedMD", "restore_md"]
 
 
 @dataclass
@@ -232,6 +232,17 @@ class SCFForceEngine:
                 f"SCF failed to converge at MD geometry (niter={res.niter})")
         return res
 
+    def seed_density(self, D: np.ndarray) -> None:
+        """Inject a predicted density as the next SCF's warm start.
+
+        The ASPC extrapolator (:class:`repro.scf.guess.ASPCExtrapolator`)
+        calls this before each outer RESPA force evaluation so the SCF
+        starts from the extrapolated density instead of the plain
+        previous-step one.  Only takes effect with ``reuse_density``.
+        """
+        self.last_result = _WarmStart(
+            D=np.asarray(D, dtype=np.float64).copy())
+
     def energy_forces(self, coords: np.ndarray) -> tuple[float, np.ndarray]:
         """SCF energy and central-difference forces."""
         coords = np.asarray(coords, dtype=np.float64)
@@ -332,8 +343,269 @@ class SCFForceEngine:
             self._ri = None
 
 
+class CheckpointedMD:
+    """Shared machinery for checkpointed, resume-aware MD runners.
+
+    :class:`BOMD`, :class:`repro.md.respa.MTSBOMD` and
+    :class:`repro.md.classical.ClassicalMD` all inherit the same
+    ``run``/``checkpoint``/``restore`` core; each subclass supplies its
+    force engine, integrator, snapshot ``_KIND`` tag and identity
+    parameters.  Auto-snapshots (initial state, cadence, pool
+    degradation, final step) are all funneled through
+    :meth:`_snapshot_if_new`, which dedupes by logical step id — a
+    trajectory never writes two snapshots of the same step, even when
+    the final step also lands on the cadence.
+    """
+
+    _KIND = "md"
+
+    # --- subclass hooks -------------------------------------------------------
+
+    def _integrator(self):
+        raise NotImplementedError
+
+    def _params(self) -> dict:
+        """Identity parameters stored in (and checked against) snapshots."""
+        raise NotImplementedError
+
+    def _param_checks(self) -> tuple:
+        """(key, my_value) pairs that must match the snapshot params."""
+        raise NotImplementedError
+
+    def _extra_state(self) -> dict:
+        """Subclass additions to the snapshot envelope."""
+        return {}
+
+    def _load_extra(self, state: dict) -> None:
+        """Load subclass additions written by :meth:`_extra_state`."""
+
+    @classmethod
+    def _from_snapshot(cls, state: dict, cfg: ExecutionConfig
+                       ) -> "CheckpointedMD":
+        """Construct a matching runner from a snapshot envelope."""
+        raise NotImplementedError
+
+    # --- shared core ----------------------------------------------------------
+
+    def _init_runtime_state(self) -> None:
+        """Called from each subclass ``__post_init__`` after the config
+        is resolved: trajectory bookkeeping + checkpoint store setup."""
+        self.state: MDState | None = None
+        self.trajectory: list[MDState] = []
+        self._store = None
+        self._checkpoint_every = None
+        self._last_saved_step: int | None = None
+        self._degrade_snapshotted = False
+        if self.config.checkpoint_dir is not None:
+            from ..runtime.checkpoint import (DEFAULT_KEEP, CheckpointStore,
+                                              resolve_checkpoint_every)
+
+            self._store = CheckpointStore(
+                self.config.checkpoint_dir,
+                keep=self.config.checkpoint_keep or DEFAULT_KEEP)
+            self._checkpoint_every = resolve_checkpoint_every(
+                self.config.checkpoint_every)
+
+    def run(self, nsteps: int) -> list[MDState]:
+        """Integrate until logical step ``nsteps``; returns the
+        trajectory (including the initial state).
+
+        On a fresh object this is the familiar "take ``nsteps`` steps";
+        on a restored (or already-run) object it takes only the
+        *remaining* steps, so a killed-and-restored run and an
+        uninterrupted one execute the identical step sequence.
+        """
+        from .integrator import initialize_velocities
+
+        vv = self._integrator()
+        tr = self.config.trace
+        if self.state is None:
+            v0 = None
+            if self.temperature:
+                v0 = initialize_velocities(self.mol.masses,
+                                           self.temperature, self.seed)
+            self.state = vv.initial_state(self.mol.coords, v0)
+            self.trajectory = [self.state]
+            self._snapshot_if_new()
+        while self.state.step < nsteps:
+            self.state = vv.step(self.state)
+            self.trajectory.append(self.state)
+            if tr.enabled:
+                tr.metrics.count("md.steps", 1)
+            if self._store is not None:
+                degraded = bool(getattr(self.engine, "degraded", False))
+                if self.state.step % self._checkpoint_every == 0 or \
+                        (degraded and not self._degrade_snapshotted):
+                    # cadence hit, or the pool just died for good:
+                    # secure the trajectory (at most once per step)
+                    self._snapshot_if_new()
+                if degraded:
+                    self._degrade_snapshotted = True
+        self._snapshot_if_new()
+        return list(self.trajectory)
+
+    # --- checkpoint/restart ---------------------------------------------------
+
+    def _snapshot_if_new(self) -> None:
+        """Auto-snapshot the current step unless it was already saved.
+
+        Every automatic write (initial state, cadence, degradation,
+        final step) goes through this guard, so overlapping triggers —
+        e.g. a final step that also satisfies the cadence — produce
+        exactly one snapshot per logical step.
+        """
+        if self._store is not None and \
+                self._last_saved_step != self.state.step:
+            self.checkpoint()
+
+    def checkpoint(self) -> SnapshotInfo:
+        """Write one snapshot of the current trajectory state now."""
+        name = type(self).__name__
+        if self._store is None:
+            raise CheckpointError(
+                f"{name} has no checkpoint store — construct it with "
+                f"ExecutionConfig(checkpoint_dir=...)")
+        if self.state is None:
+            raise CheckpointError(
+                f"{name}.checkpoint: no trajectory state yet (run() first)")
+        tr = self.config.trace
+        step = int(self.state.step)
+        with tr.span("checkpoint.write", cat="checkpoint", step=step):
+            info = self._store.save(self.get_state(), step=step)
+        self._last_saved_step = step
+        if tr.enabled:
+            tr.metrics.count("checkpoint.writes", 1)
+            tr.metrics.set("checkpoint.last_step", step)
+        return info
+
+    def get_state(self) -> dict:
+        """Full Restartable state of the trajectory.
+
+        Step counter, positions/velocities/forces, the accumulated
+        trajectory observables, the force engine's warm-start state,
+        the thermostat (RNG stream included), and the telemetry
+        counters — but never the live worker pool.
+        """
+        if self.state is None:
+            raise CheckpointError(
+                f"{type(self).__name__}.get_state: no trajectory state "
+                f"yet (run() first)")
+        tr = self.config.trace
+        thermo = None
+        if self.thermostat is not None and \
+                hasattr(self.thermostat, "get_state"):
+            thermo = self.thermostat.get_state()
+        engine_state = (self.engine.get_state()
+                        if hasattr(self.engine, "get_state") else None)
+        state = {
+            "kind": self._KIND,
+            "mol": self.mol,
+            "params": self._params(),
+            "step": int(self.state.step),
+            "trajectory": [s.to_dict() for s in self.trajectory],
+            "engine": engine_state,
+            "thermostat": thermo,
+            "counters": tr.metrics.get_state() if tr.enabled else {},
+        }
+        state.update(self._extra_state())
+        return state
+
+    def set_state(self, state: dict) -> None:
+        """Load a snapshot into this (matching) runner."""
+        name = type(self).__name__
+        if state.get("kind") != self._KIND:
+            raise CheckpointError(
+                f"{name}: snapshot holds {state.get('kind')!r} state, "
+                f"not '{self._KIND}'")
+        p = state.get("params", {})
+        mismatches = []
+        for key, mine in self._param_checks():
+            if p.get(key) != mine:
+                mismatches.append(
+                    f"{key}: snapshot {p.get(key)!r} != {mine!r}")
+        if mismatches:
+            raise CheckpointError(
+                f"{name}: snapshot does not match this run — "
+                + "; ".join(mismatches))
+        traj = [MDState.from_dict(d) for d in state.get("trajectory", ())]
+        if not traj:
+            raise CheckpointError(f"{name}: snapshot holds an empty "
+                                  f"trajectory")
+        self.trajectory = traj
+        self.state = traj[-1]
+        if state.get("engine") is not None and \
+                hasattr(self.engine, "set_state"):
+            self.engine.set_state(state["engine"])
+        if state.get("thermostat") is not None:
+            if self.thermostat is None:
+                from .thermostat import restore_thermostat
+
+                self.thermostat = restore_thermostat(state["thermostat"])
+            else:
+                self.thermostat.set_state(state["thermostat"])
+        self._load_extra(state)
+        tr = self.config.trace
+        if tr.enabled and state.get("counters"):
+            # counters continue from their saved totals so --profile
+            # spans the whole logical run, not just the resumed piece
+            tr.metrics.set_state(state["counters"])
+
+    @classmethod
+    def restore(cls, checkpoint_dir=None, config: ExecutionConfig | None = None
+                ) -> "CheckpointedMD":
+        """Revive a trajectory from the newest uncorrupted snapshot.
+
+        The snapshot is self-describing (molecule, method, thermostat
+        kind, step counter all ride in it), so the only inputs are the
+        store location and — because execution resources are never
+        serialized — a fresh :class:`ExecutionConfig`: the restored
+        run spawns a fresh worker pool on its first SCF rather than
+        attempting to revive pickled pool state.  Corrupted snapshots
+        fall back through the ring with a warning; a missing directory
+        raises :class:`repro.runtime.CheckpointError`.
+        """
+        from ..runtime.execconfig import resolve_execution
+
+        cfg = resolve_execution(config, owner=f"{cls.__name__}.restore")
+        state, info, cfg, tr = cls._load_snapshot(checkpoint_dir, cfg)
+        if state.get("kind") != cls._KIND:
+            raise CheckpointError(
+                f"{cls.__name__}.restore: snapshot holds "
+                f"{state.get('kind')!r} state, not '{cls._KIND}'")
+        b = cls._from_snapshot(state, cfg)
+        b.set_state(state)
+        b._last_saved_step = info.step
+        if tr.enabled:
+            tr.metrics.count("checkpoint.restores", 1)
+            tr.metrics.set("checkpoint.restored_step", float(info.step))
+            tr.metrics.set("checkpoint.snapshot_age_s", info.age_s)
+        return b
+
+    @classmethod
+    def _load_snapshot(cls, checkpoint_dir, cfg: ExecutionConfig):
+        """Locate the store, load the newest good snapshot, and pin the
+        restored run's checkpoint directory to where it restored from."""
+        from ..runtime.checkpoint import DEFAULT_KEEP, CheckpointStore
+
+        directory = checkpoint_dir if checkpoint_dir is not None \
+            else cfg.checkpoint_dir
+        if directory is None:
+            raise CheckpointError(
+                f"{cls.__name__}.restore: no checkpoint directory — pass "
+                f"checkpoint_dir= or set ExecutionConfig.checkpoint_dir")
+        store = CheckpointStore(directory,
+                                keep=cfg.checkpoint_keep or DEFAULT_KEEP)
+        tr = cfg.trace
+        with tr.span("checkpoint.restore", cat="checkpoint"):
+            state, info = store.load_latest()
+        if cfg.checkpoint_dir is None:
+            # keep checkpointing where we restored from
+            cfg = cfg.replace(checkpoint_dir=str(directory))
+        return state, info, cfg, tr
+
+
 @dataclass
-class BOMD:
+class BOMD(CheckpointedMD):
     """Convenience Born-Oppenheimer MD runner.
 
     ``analytic_forces=True`` uses the analytic RHF gradient engine
@@ -362,6 +634,8 @@ class BOMD:
     config: ExecutionConfig | None = None
     engine: object = field(init=False)
 
+    _KIND = "bomd"
+
     def __post_init__(self) -> None:
         from ..runtime.execconfig import resolve_execution
 
@@ -382,21 +656,7 @@ class BOMD:
             self.engine = SCFForceEngine(self.mol, self.method, self.basis,
                                          incremental=self.incremental,
                                          config=self.config)
-        self.state: MDState | None = None
-        self.trajectory: list[MDState] = []
-        self._store = None
-        self._checkpoint_every = None
-        self._last_saved_step: int | None = None
-        self._degrade_snapshotted = False
-        if self.config.checkpoint_dir is not None:
-            from ..runtime.checkpoint import (DEFAULT_KEEP, CheckpointStore,
-                                              resolve_checkpoint_every)
-
-            self._store = CheckpointStore(
-                self.config.checkpoint_dir,
-                keep=self.config.checkpoint_keep or DEFAULT_KEEP)
-            self._checkpoint_every = resolve_checkpoint_every(
-                self.config.checkpoint_every)
+        self._init_runtime_state()
 
     def _integrator(self):
         from ..constants import fs_to_aut
@@ -406,190 +666,61 @@ class BOMD:
                               fs_to_aut(self.dt_fs),
                               thermostat=self.thermostat)
 
-    def run(self, nsteps: int) -> list[MDState]:
-        """Integrate until logical step ``nsteps``; returns the
-        trajectory (including the initial state).
+    def _params(self) -> dict:
+        return {"method": self.method, "basis": self.basis,
+                "dt_fs": float(self.dt_fs),
+                "temperature": self.temperature,
+                "seed": self.seed,
+                "analytic_forces": self.analytic_forces,
+                "incremental": self.incremental,
+                "natom": self.mol.natom}
 
-        On a fresh object this is the familiar "take ``nsteps`` steps";
-        on a restored (or already-run) object it takes only the
-        *remaining* steps, so a killed-and-restored run and an
-        uninterrupted one execute the identical step sequence.
-        """
-        from .integrator import initialize_velocities
-
-        vv = self._integrator()
-        tr = self.config.trace
-        if self.state is None:
-            v0 = None
-            if self.temperature:
-                v0 = initialize_velocities(self.mol.masses,
-                                           self.temperature, self.seed)
-            self.state = vv.initial_state(self.mol.coords, v0)
-            self.trajectory = [self.state]
-            if self._store is not None:
-                self.checkpoint()
-        while self.state.step < nsteps:
-            self.state = vv.step(self.state)
-            self.trajectory.append(self.state)
-            if tr.enabled:
-                tr.metrics.count("md.steps", 1)
-            if self._store is not None:
-                degraded = bool(getattr(self.engine, "degraded", False))
-                if self.state.step % self._checkpoint_every == 0:
-                    self.checkpoint()
-                elif degraded and not self._degrade_snapshotted:
-                    # the pool just died for good: secure the trajectory
-                    # before grinding through the serial remainder
-                    self.checkpoint()
-                if degraded:
-                    self._degrade_snapshotted = True
-        if self._store is not None and \
-                self._last_saved_step != self.state.step:
-            self.checkpoint()
-        return list(self.trajectory)
-
-    # --- checkpoint/restart ---------------------------------------------------
-
-    def checkpoint(self) -> SnapshotInfo:
-        """Write one snapshot of the current trajectory state now."""
-        if self._store is None:
-            raise CheckpointError(
-                "BOMD has no checkpoint store — construct it with "
-                "ExecutionConfig(checkpoint_dir=...)")
-        if self.state is None:
-            raise CheckpointError(
-                "BOMD.checkpoint: no trajectory state yet (run() first)")
-        tr = self.config.trace
-        step = int(self.state.step)
-        with tr.span("checkpoint.write", cat="checkpoint", step=step):
-            info = self._store.save(self.get_state(), step=step)
-        self._last_saved_step = step
-        if tr.enabled:
-            tr.metrics.count("checkpoint.writes", 1)
-            tr.metrics.set("checkpoint.last_step", step)
-        return info
-
-    def get_state(self) -> dict:
-        """Full Restartable state of the trajectory.
-
-        Step counter, positions/velocities/forces, the accumulated
-        trajectory observables, the force engine's warm-start state,
-        the thermostat (RNG stream included), and the telemetry
-        counters — but never the live worker pool.
-        """
-        if self.state is None:
-            raise CheckpointError(
-                "BOMD.get_state: no trajectory state yet (run() first)")
-        tr = self.config.trace
-        thermo = None
-        if self.thermostat is not None and \
-                hasattr(self.thermostat, "get_state"):
-            thermo = self.thermostat.get_state()
-        engine_state = (self.engine.get_state()
-                        if hasattr(self.engine, "get_state") else None)
-        return {
-            "kind": "bomd",
-            "mol": self.mol,
-            "params": {"method": self.method, "basis": self.basis,
-                       "dt_fs": float(self.dt_fs),
-                       "temperature": self.temperature,
-                       "seed": self.seed,
-                       "analytic_forces": self.analytic_forces,
-                       "incremental": self.incremental,
-                       "natom": self.mol.natom},
-            "step": int(self.state.step),
-            "trajectory": [s.to_dict() for s in self.trajectory],
-            "engine": engine_state,
-            "thermostat": thermo,
-            "counters": tr.metrics.get_state() if tr.enabled else {},
-        }
-
-    def set_state(self, state: dict) -> None:
-        """Load a snapshot into this (matching) runner."""
-        if state.get("kind") != "bomd":
-            raise CheckpointError(
-                f"BOMD: snapshot holds {state.get('kind')!r} state, "
-                f"not 'bomd'")
-        p = state.get("params", {})
-        mismatches = []
-        for key, mine in (("method", self.method), ("basis", self.basis),
-                          ("dt_fs", float(self.dt_fs)),
-                          ("natom", self.mol.natom),
-                          ("analytic_forces", self.analytic_forces)):
-            if p.get(key) != mine:
-                mismatches.append(
-                    f"{key}: snapshot {p.get(key)!r} != {mine!r}")
-        if mismatches:
-            raise CheckpointError(
-                "BOMD: snapshot does not match this run — "
-                + "; ".join(mismatches))
-        traj = [MDState.from_dict(d) for d in state.get("trajectory", ())]
-        if not traj:
-            raise CheckpointError("BOMD: snapshot holds an empty "
-                                  "trajectory")
-        self.trajectory = traj
-        self.state = traj[-1]
-        if state.get("engine") is not None and \
-                hasattr(self.engine, "set_state"):
-            self.engine.set_state(state["engine"])
-        if state.get("thermostat") is not None:
-            if self.thermostat is None:
-                from .thermostat import restore_thermostat
-
-                self.thermostat = restore_thermostat(state["thermostat"])
-            else:
-                self.thermostat.set_state(state["thermostat"])
-        tr = self.config.trace
-        if tr.enabled and state.get("counters"):
-            # counters continue from their saved totals so --profile
-            # spans the whole logical run, not just the resumed piece
-            tr.metrics.set_state(state["counters"])
+    def _param_checks(self) -> tuple:
+        return (("method", self.method), ("basis", self.basis),
+                ("dt_fs", float(self.dt_fs)),
+                ("natom", self.mol.natom),
+                ("analytic_forces", self.analytic_forces))
 
     @classmethod
-    def restore(cls, checkpoint_dir=None, config: ExecutionConfig | None = None
-                ) -> "BOMD":
-        """Revive a trajectory from the newest uncorrupted snapshot.
-
-        The snapshot is self-describing (molecule, method, thermostat
-        kind, step counter all ride in it), so the only inputs are the
-        store location and — because execution resources are never
-        serialized — a fresh :class:`ExecutionConfig`: the restored
-        run spawns a fresh worker pool on its first SCF rather than
-        attempting to revive pickled pool state.  Corrupted snapshots
-        fall back through the ring with a warning; a missing directory
-        raises :class:`repro.runtime.CheckpointError`.
-        """
-        from ..runtime.checkpoint import DEFAULT_KEEP, CheckpointStore
-        from ..runtime.execconfig import resolve_execution
-
-        cfg = resolve_execution(config, owner="BOMD.restore")
-        directory = checkpoint_dir if checkpoint_dir is not None \
-            else cfg.checkpoint_dir
-        if directory is None:
-            raise CheckpointError(
-                "BOMD.restore: no checkpoint directory — pass "
-                "checkpoint_dir= or set ExecutionConfig.checkpoint_dir")
-        store = CheckpointStore(directory,
-                                keep=cfg.checkpoint_keep or DEFAULT_KEEP)
-        tr = cfg.trace
-        with tr.span("checkpoint.restore", cat="checkpoint"):
-            state, info = store.load_latest()
-        if state.get("kind") != "bomd":
-            raise CheckpointError(
-                f"BOMD.restore: snapshot holds {state.get('kind')!r} "
-                f"state, not 'bomd'")
+    def _from_snapshot(cls, state: dict, cfg: ExecutionConfig) -> "BOMD":
         p = state["params"]
-        if cfg.checkpoint_dir is None:
-            # keep checkpointing where we restored from
-            cfg = cfg.replace(checkpoint_dir=str(directory))
-        b = cls(mol=state["mol"], method=p["method"], basis=p["basis"],
-                dt_fs=p["dt_fs"], temperature=p["temperature"],
-                seed=p["seed"], analytic_forces=p["analytic_forces"],
-                incremental=p.get("incremental", False), config=cfg)
-        b.set_state(state)
-        b._last_saved_step = info.step
-        if tr.enabled:
-            tr.metrics.count("checkpoint.restores", 1)
-            tr.metrics.set("checkpoint.restored_step", float(info.step))
-            tr.metrics.set("checkpoint.snapshot_age_s", info.age_s)
-        return b
+        return cls(mol=state["mol"], method=p["method"], basis=p["basis"],
+                   dt_fs=p["dt_fs"], temperature=p["temperature"],
+                   seed=p["seed"], analytic_forces=p["analytic_forces"],
+                   incremental=p.get("incremental", False), config=cfg)
+
+
+#: snapshot ``kind`` tag -> runner class, for :func:`restore_md`.
+_MD_KINDS = {"bomd": BOMD}
+
+
+def _register_md_kind(kind: str, cls) -> None:
+    _MD_KINDS[kind] = cls
+
+
+def restore_md(checkpoint_dir=None, config: ExecutionConfig | None = None
+               ) -> CheckpointedMD:
+    """Revive whatever MD runner a checkpoint directory holds.
+
+    Snapshots are self-describing (their ``kind`` tag names the runner
+    class), so callers that only know "this job has a checkpoint dir" —
+    the service scheduler, ``repro md --restore`` — need not remember
+    whether the trajectory was plain :class:`BOMD`, multiple-time-
+    stepping :class:`repro.md.respa.MTSBOMD`, or classical
+    :class:`repro.md.classical.ClassicalMD`.
+    """
+    # importing the siblings registers their kinds
+    from . import classical as _classical   # noqa: F401
+    from . import respa as _respa           # noqa: F401
+    from ..runtime.execconfig import resolve_execution
+
+    cfg = resolve_execution(config, owner="restore_md")
+    state, _info, _cfg, _tr = CheckpointedMD._load_snapshot(
+        checkpoint_dir, cfg)
+    kind = state.get("kind")
+    cls = _MD_KINDS.get(kind)
+    if cls is None:
+        raise CheckpointError(
+            f"restore_md: snapshot holds unknown trajectory kind "
+            f"{kind!r} (known: {sorted(_MD_KINDS)})")
+    return cls.restore(checkpoint_dir, config=config)

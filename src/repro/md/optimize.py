@@ -4,6 +4,13 @@ A damped BFGS in Cartesian coordinates — enough to relax the small
 model complexes (paper workflow: optimize, then run PBE0 BOMD).  Works
 with any :class:`~repro.md.integrator.ForceEngine` (classical force
 field or SCF forces).
+
+With ``config=ExecutionConfig(checkpoint_dir=...)`` the optimizer gets
+the same auto-snapshot/restore path BOMD has: the full BFGS state
+(geometry, inverse Hessian, gradient, energy history) is written every
+``checkpoint_every`` iterations plus once at the end (deduplicated by
+iteration id), and a rerun over a directory that already holds a
+snapshot resumes from it and walks the identical iterate sequence.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..runtime.checkpoint import CheckpointError
 from .integrator import ForceEngine
 
 __all__ = ["OptimizationResult", "optimize_geometry"]
@@ -34,9 +42,16 @@ class OptimizationResult:
         return float(np.abs(self.forces).max())
 
 
+def _opt_state(n, x, H, e, f, g, it, history) -> dict:
+    return {"kind": "geom_opt", "n": int(n), "x": x.copy(), "H": H.copy(),
+            "e": float(e), "f": np.asarray(f, dtype=np.float64).copy(),
+            "g": g.copy(), "it": int(it), "history": list(history)}
+
+
 def optimize_geometry(engine: ForceEngine, coords0: np.ndarray,
                       fmax: float = 1e-4, max_steps: int = 200,
-                      max_step_length: float = 0.3) -> OptimizationResult:
+                      max_step_length: float = 0.3,
+                      config=None) -> OptimizationResult:
     """Minimize the energy with BFGS (trust-radius capped steps).
 
     Parameters
@@ -49,15 +64,62 @@ def optimize_geometry(engine: ForceEngine, coords0: np.ndarray,
         Convergence: largest |force component| below this.
     max_step_length:
         Per-step displacement cap in Bohr (keeps SCF guesses valid).
+    config:
+        Optional :class:`repro.runtime.ExecutionConfig`; with a
+        ``checkpoint_dir`` the BFGS state auto-snapshots every
+        ``checkpoint_every`` iterations, and an existing snapshot in
+        that directory is resumed instead of restarting from
+        ``coords0``.
     """
+    store = every = None
+    tr = None
+    if config is not None:
+        from ..runtime.execconfig import resolve_execution
+
+        cfg = resolve_execution(config, owner="optimize_geometry")
+        tr = cfg.trace if cfg.trace.enabled else None
+        if cfg.checkpoint_dir is not None:
+            from ..runtime.checkpoint import (DEFAULT_KEEP, CheckpointStore,
+                                              resolve_checkpoint_every)
+
+            store = CheckpointStore(cfg.checkpoint_dir,
+                                    keep=cfg.checkpoint_keep or DEFAULT_KEEP)
+            every = resolve_checkpoint_every(cfg.checkpoint_every)
     x = np.asarray(coords0, dtype=np.float64).reshape(-1).copy()
     n = x.size
-    H = np.eye(n)   # inverse-Hessian approximation
-    e, f = engine.energy_forces(x.reshape(-1, 3))
-    g = -f.reshape(-1)
-    history = [e]
+    last_saved = None
+    if store is not None and store.snapshots():
+        state, info = store.load_latest()
+        if state.get("kind") != "geom_opt":
+            raise CheckpointError(
+                f"optimize_geometry: snapshot holds {state.get('kind')!r} "
+                f"state, not 'geom_opt'")
+        if int(state["n"]) != n:
+            raise CheckpointError(
+                f"optimize_geometry: snapshot has {state['n']} degrees of "
+                f"freedom, this geometry has {n}")
+        x = np.asarray(state["x"], dtype=np.float64).copy()
+        H = np.asarray(state["H"], dtype=np.float64).copy()
+        e = float(state["e"])
+        f = np.asarray(state["f"], dtype=np.float64).copy()
+        g = np.asarray(state["g"], dtype=np.float64).copy()
+        it = int(state["it"])
+        history = list(state["history"])
+        last_saved = info.step
+        if tr is not None:
+            tr.metrics.count("checkpoint.restores", 1)
+    else:
+        H = np.eye(n)   # inverse-Hessian approximation
+        e, f = engine.energy_forces(x.reshape(-1, 3))
+        g = -f.reshape(-1)
+        history = [e]
+        it = 0
+        if store is not None:
+            store.save(_opt_state(n, x, H, e, f, g, it, history), step=it)
+            last_saved = it
+            if tr is not None:
+                tr.metrics.count("checkpoint.writes", 1)
     converged = bool(np.abs(g).max() < fmax)
-    it = 0
     while not converged and it < max_steps:
         it += 1
         step = -H @ g
@@ -86,5 +148,16 @@ def optimize_geometry(engine: ForceEngine, coords0: np.ndarray,
         x, g, e, f = x_new, g_new, e_new, f_new
         history.append(e)
         converged = bool(np.abs(g).max() < fmax)
+        if store is not None and it % every == 0 and last_saved != it:
+            store.save(_opt_state(n, x, H, e, f, g, it, history), step=it)
+            last_saved = it
+            if tr is not None:
+                tr.metrics.count("checkpoint.writes", 1)
+    if store is not None and last_saved != it:
+        # final state, deduplicated against a cadence-aligned last
+        # iteration exactly like the MD loops
+        store.save(_opt_state(n, x, H, e, f, g, it, history), step=it)
+        if tr is not None:
+            tr.metrics.count("checkpoint.writes", 1)
     return OptimizationResult(x.reshape(-1, 3), e, f, converged, it,
                               history)

@@ -10,7 +10,9 @@ from .simd import SIMDModel, KernelProfile, ERI_KERNEL, DGEMM_KERNEL, SCALAR_KER
 from .trace import Timer, Trace, TraceEvent
 from .telemetry import (Span, Tracer, NullTracer, NULL_TRACER,
                         MetricsRegistry, TelemetrySnapshot, chrome_trace)
-from .execconfig import ExecutionConfig, DEFAULT_EXECUTION, resolve_execution
+from .execconfig import (ExecutionConfig, DEFAULT_EXECUTION,
+                         resolve_execution, resolve_mts_outer,
+                         MTS_INNER_ENGINES)
 from .schema import (SCHEMA_VERSION, ENVELOPE_KEYS, result_envelope,
                      check_envelope)
 from .checkpoint import (CheckpointError, CheckpointCorruptError,
@@ -28,6 +30,7 @@ __all__ = [
     "Span", "Tracer", "NullTracer", "NULL_TRACER",
     "MetricsRegistry", "TelemetrySnapshot", "chrome_trace",
     "ExecutionConfig", "DEFAULT_EXECUTION", "resolve_execution",
+    "resolve_mts_outer", "MTS_INNER_ENGINES",
     "SCHEMA_VERSION", "ENVELOPE_KEYS", "result_envelope", "check_envelope",
     "CheckpointError", "CheckpointCorruptError", "CheckpointStore",
     "Restartable", "RestartableRNG", "SnapshotInfo",

@@ -18,12 +18,50 @@ from dataclasses import dataclass, replace
 
 from .telemetry import NULL_TRACER, Tracer
 
-__all__ = ["ExecutionConfig", "DEFAULT_EXECUTION", "resolve_execution"]
+__all__ = ["ExecutionConfig", "DEFAULT_EXECUTION", "resolve_execution",
+           "resolve_mts_outer", "MTS_INNER_ENGINES",
+           "DEFAULT_MTS_OUTER"]
 
 _EXECUTORS = ("serial", "process")
 _KERNELS = ("quartet", "batched")
 _SCF_SOLVERS = ("diis", "soscf", "auto")
 _JK_MODES = ("direct", "ri")
+
+#: Cheap inner-loop force surfaces the RESPA integrator accepts: the
+#: classical force field, or a pure (no-HFX) DFT functional.  Hybrids
+#: and HF are rejected — they would put the expensive exchange build
+#: back into the fast loop that MTS exists to avoid.
+MTS_INNER_ENGINES = ("ff", "lda", "pbe")
+
+DEFAULT_MTS_OUTER = 1
+
+
+def resolve_mts_outer(n: int | None = None) -> int:
+    """Boundary validator for the RESPA outer-step stride ``n_outer``.
+
+    ``None`` falls back to ``REPRO_MTS_OUTER`` and then to 1 (plain
+    single-timestep BOMD).  Booleans and anything < 1 are rejected with
+    an actionable message, mirroring :func:`resolve_nworkers` /
+    :func:`resolve_checkpoint_every`.
+    """
+    if n is None:
+        env = os.environ.get("REPRO_MTS_OUTER")
+        if env is None:
+            return DEFAULT_MTS_OUTER
+        try:
+            n = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_MTS_OUTER must be an integer >= 1, got {env!r}")
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise ValueError(
+            f"mts_outer must be an integer >= 1 (full-force stride of the "
+            f"RESPA integrator), got {n!r}")
+    if n < 1:
+        raise ValueError(
+            f"mts_outer must be >= 1 (1 disables multiple time stepping), "
+            f"got {n}")
+    return n
 
 
 @dataclass(frozen=True, eq=False)
@@ -88,6 +126,16 @@ class ExecutionConfig:
         ``checkpoint_dir``).
     checkpoint_keep:
         Ring size — snapshots kept on disk besides pruning (default 3).
+    mts_outer:
+        r-RESPA multiple-time-stepping stride: the full SCF force is
+        evaluated every ``mts_outer`` inner steps, with the inner motion
+        integrated on the cheap ``mts_inner_engine`` surface (default:
+        ``REPRO_MTS_OUTER`` or 1 = plain single-timestep BOMD).  See
+        :mod:`repro.md.respa`.
+    mts_inner_engine:
+        Fast-force surface for the RESPA inner loop: ``"ff"`` (the
+        classical harmonic/LJ force field), ``"lda"`` or ``"pbe"``
+        (pure, no-HFX DFT).  ``None`` defaults to ``"ff"``.
     """
 
     executor: str = "serial"
@@ -102,6 +150,8 @@ class ExecutionConfig:
     checkpoint_dir: str | None = None
     checkpoint_every: int | None = None
     checkpoint_keep: int | None = None
+    mts_outer: int | None = None
+    mts_inner_engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
@@ -161,6 +211,14 @@ class ExecutionConfig:
                 raise ValueError(
                     f"checkpoint_keep must be a positive integer, "
                     f"got {self.checkpoint_keep!r}")
+        if self.mts_outer is not None:
+            resolve_mts_outer(self.mts_outer)
+        if self.mts_inner_engine is not None and \
+                self.mts_inner_engine not in MTS_INNER_ENGINES:
+            raise ValueError(
+                f"mts_inner_engine must be one of {MTS_INNER_ENGINES} "
+                f"(the RESPA fast loop needs a cheap, HFX-free surface), "
+                f"got {self.mts_inner_engine!r}")
 
     @property
     def trace(self) -> Tracer:

@@ -3,7 +3,8 @@
 from .diis import DIIS
 from .fock import (DirectJKBuilder, coulomb_from_tensor, exchange_from_tensor,
                    jk_from_tensor)
-from .guess import core_guess, density_from_orbitals, orthogonalizer
+from .guess import (ASPCExtrapolator, aspc_coefficients, core_guess,
+                    density_from_orbitals, orthogonalizer)
 from .rhf import RHF, SCFResult, run_rhf
 from .ri_jk import RIJKBuilder
 from .soscf import ADIIS, EDIIS, NewtonSOSCF
@@ -16,6 +17,7 @@ __all__ = [
     "DIIS",
     "DirectJKBuilder", "coulomb_from_tensor", "exchange_from_tensor",
     "jk_from_tensor",
+    "ASPCExtrapolator", "aspc_coefficients",
     "core_guess", "density_from_orbitals", "orthogonalizer",
     "RHF", "SCFResult", "run_rhf",
     "RIJKBuilder",

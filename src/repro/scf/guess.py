@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+from math import comb
+
 import numpy as np
 import scipy.linalg as sla
 
 __all__ = ["core_guess", "density_from_orbitals", "orthogonalizer",
-           "fermi_occupations", "density_from_occupations"]
+           "fermi_occupations", "density_from_occupations",
+           "ASPCExtrapolator", "aspc_coefficients"]
 
 
 def fermi_occupations(eps: np.ndarray, nelec: float,
@@ -83,3 +86,104 @@ def core_guess(hcore: np.ndarray, S: np.ndarray, nocc: int
     eps, Cp = np.linalg.eigh(f)
     C = X @ Cp
     return density_from_orbitals(C, nocc), C, eps
+
+
+def aspc_coefficients(order: int) -> tuple[np.ndarray, float]:
+    """Kolafa ASPC predictor coefficients ``B_j`` and corrector mixing
+    ``omega`` for extrapolation order ``k = order``.
+
+    The predictor uses the ``k + 2`` most recent history densities:
+
+        D_pred(t+1) = sum_{j=1..k+2} B_j * D(t+1-j)
+        B_j = (-1)^(j+1) * j * C(2k+4, k+2-j) / C(2k+2, k+1)
+        omega = (k+2) / (2k+3)
+
+    (J. Kolafa, J. Comput. Chem. 25, 335 (2004)); ``omega`` damps the
+    corrected density pushed back into the history so the coupled
+    predictor/SCF iteration stays contractive (time-reversible up to
+    O(dt^{2k+2})).  ``order=0`` gives the familiar linear extrapolation
+    (2, -1) with omega = 2/3.
+    """
+    if not isinstance(order, int) or isinstance(order, bool) or order < 0:
+        raise ValueError(f"ASPC order must be a non-negative int, got {order!r}")
+    k = order
+    denom = comb(2 * k + 2, k + 1)
+    B = np.array([(-1.0) ** (j + 1) * j * comb(2 * k + 4, k + 2 - j) / denom
+                  for j in range(1, k + 3)])
+    return B, (k + 2.0) / (2.0 * k + 3.0)
+
+
+class ASPCExtrapolator:
+    """Always-stable predictor-corrector history over SCF densities.
+
+    Feeds MD warm starts: ``predict()`` extrapolates the next converged
+    density from the history, the SCF corrects it, and ``push()`` blends
+    the corrected density back in with the stability weight ``omega``.
+    While the history is still filling the order is reduced gracefully
+    (one entry -> plain previous-density reuse, two -> linear, ...).
+
+    The history is plain ndarray state: ``get_state``/``set_state``
+    round-trip it bit-exactly through the checkpoint store so a killed
+    MTS trajectory resumes with identical predictions.
+    """
+
+    def __init__(self, order: int = 2):
+        # validate eagerly so a bad order fails at construction
+        aspc_coefficients(order)
+        self.order = int(order)
+        self.history: list[np.ndarray] = []   # most recent first
+
+    def __len__(self) -> int:
+        return len(self.history)
+
+    def _effective_order(self) -> int:
+        # with m stored densities the largest usable order is m - 2
+        return min(self.order, len(self.history) - 2)
+
+    def predict(self) -> np.ndarray | None:
+        """Extrapolated density for the next step, or None if empty."""
+        m = len(self.history)
+        if m == 0:
+            return None
+        if m == 1:
+            return self.history[0].copy()
+        B, _ = aspc_coefficients(self._effective_order())
+        D = B[0] * self.history[0]
+        for bj, Dj in zip(B[1:], self.history[1:]):
+            D += bj * Dj
+        return D
+
+    def push(self, corrected: np.ndarray,
+             predicted: np.ndarray | None = None) -> None:
+        """Insert the SCF-corrected density for the step just taken.
+
+        ``predicted`` must be the value ``predict()`` returned before the
+        SCF ran (None on the cold first step): the stored entry is
+        ``omega * corrected + (1 - omega) * predicted``.
+        """
+        corrected = np.asarray(corrected, dtype=np.float64)
+        if predicted is None or len(self.history) == 0:
+            entry = corrected.copy()
+        elif len(self.history) == 1:
+            # effective order -1: omega = 1, i.e. keep the corrector
+            entry = corrected.copy()
+        else:
+            _, omega = aspc_coefficients(self._effective_order())
+            entry = omega * corrected + (1.0 - omega) * predicted
+        self.history.insert(0, entry)
+        del self.history[self.order + 2:]
+
+    # -- Restartable ---------------------------------------------------
+    def get_state(self) -> dict:
+        return {"kind": "aspc", "order": self.order,
+                "history": [h.copy() for h in self.history]}
+
+    def set_state(self, state: dict) -> None:
+        if state.get("kind") != "aspc":
+            raise ValueError(f"not an ASPC snapshot: {state.get('kind')!r}")
+        if int(state["order"]) != self.order:
+            raise ValueError(
+                f"ASPC order mismatch: snapshot has order {state['order']}, "
+                f"this extrapolator was built with order {self.order}")
+        self.history = [np.asarray(h, dtype=np.float64).copy()
+                        for h in state["history"]]

@@ -47,8 +47,15 @@ _THERMOSTATS = ("none", "csvr", "berendsen")
 _EXECUTION_FIELDS = ("executor", "nworkers", "label", "jk")
 
 #: Fields that only matter for (and are only hashed for) MD jobs.
+#: The MTS fields are physics, not placement: a multiple-time-stepping
+#: trajectory samples a different discrete path than a single-timestep
+#: one, so it must never alias it in the result cache.
 _MD_FIELDS = ("steps", "dt_fs", "temperature", "thermostat", "tau_fs",
-              "seed")
+              "seed", "mts_outer", "mts_inner", "mts_aspc_order")
+
+#: Valid RESPA inner-loop surfaces (mirrors
+#: :data:`repro.runtime.execconfig.MTS_INNER_ENGINES`).
+_MTS_INNERS = ("ff", "lda", "pbe")
 
 
 def _canon(value):
@@ -107,6 +114,15 @@ class JobSpec:
     steps / dt_fs / temperature / thermostat / tau_fs / seed:
         MD-only integration setup; ``seed`` seeds both the initial
         Maxwell-Boltzmann velocities and a CSVR thermostat stream.
+    mts_outer / mts_inner / mts_aspc_order:
+        MD-only multiple-time-stepping setup (:mod:`repro.md.respa`):
+        ``mts_outer > 1`` runs the r-RESPA integrator with the full SCF
+        force every ``mts_outer`` steps and the ``mts_inner`` surface
+        (``"ff"``/``"lda"``/``"pbe"``) in between; ``mts_aspc_order``
+        sets the ASPC density-extrapolation order for the outer SCF
+        warm starts (``None`` disables it).  For ``kind="md"`` these
+        are hashed — MTS changes the sampled path, so it is physics,
+        not placement.
     executor / nworkers:
         Execution placement — never hashed.
     jk:
@@ -138,6 +154,9 @@ class JobSpec:
     thermostat: str = "none"
     tau_fs: float = 50.0
     seed: int = 0
+    mts_outer: int = 1
+    mts_inner: str = "ff"
+    mts_aspc_order: int | None = 2
     # --- execution placement (never hashed) ---
     executor: str = "serial"
     nworkers: int | None = None
@@ -213,6 +232,22 @@ class JobSpec:
             if self.thermostat != "none" and self.temperature is None:
                 raise ValueError("JobSpec: a thermostat needs a "
                                  "temperature")
+        if isinstance(self.mts_outer, bool) or \
+                not isinstance(self.mts_outer, int) or self.mts_outer < 1:
+            raise ValueError(
+                f"JobSpec.mts_outer must be an integer >= 1 (1 disables "
+                f"multiple time stepping), got {self.mts_outer!r}")
+        if self.mts_inner not in _MTS_INNERS:
+            raise ValueError(
+                f"JobSpec.mts_inner must be one of {_MTS_INNERS}, "
+                f"got {self.mts_inner!r}")
+        if self.mts_aspc_order is not None and (
+                isinstance(self.mts_aspc_order, bool) or
+                not isinstance(self.mts_aspc_order, int) or
+                self.mts_aspc_order < 0):
+            raise ValueError(
+                f"JobSpec.mts_aspc_order must be None or a non-negative "
+                f"integer, got {self.mts_aspc_order!r}")
         if self.executor == "process":
             if self.method not in ("hf", "uhf"):
                 raise ValueError(
@@ -348,10 +383,10 @@ def solvent_screening_specs(solvents=("PC", "DMSO", "ACN"),
                             methods=("hf",), basis: str = "sto-3g",
                             nperturb: int = 1, perturb: float = 0.0,
                             seeds=(0,), kind: str = "scf",
-                            jks=("direct",),
+                            jks=("direct",), mts_outers=(1,),
                             **overrides) -> list[JobSpec]:
     """The F7 campaign axis product: solvents x methods x perturbed
-    geometries x seeds x J/K engines.
+    geometries x seeds x J/K engines x MTS strides.
 
     Each solvent contributes its quantum model fragment (the geometry
     the attack profiles use); ``nperturb`` > 1 adds seeded coordinate
@@ -361,13 +396,17 @@ def solvent_screening_specs(solvents=("PC", "DMSO", "ACN"),
     *placement* axis: with both ``("direct", "ri")`` the second variant
     of every point is a cache hit unless the cache is cold, which is
     exactly how the direct-vs-fitted crossover is measured in situ.
-    Extra keyword arguments pass through to every :class:`JobSpec`.
+    ``mts_outers`` fans MD points over RESPA full-force strides — a
+    *physics* axis (each stride is its own cache entry); it is ignored
+    for ``kind="scf"``.  Extra keyword arguments pass through to every
+    :class:`JobSpec`.
     """
     from ..liair.solvents import get_solvent
 
     builder_names = {"PC": "carbonate_model", "DMSO": "sulfoxide_model",
                      "ACN": "nitrile_model"}
     specs = []
+    mts_axis = tuple(mts_outers) if kind == "md" else (1,)
     for sv in solvents:
         solvent = get_solvent(sv)          # validates the name
         mol_name = builder_names[solvent.name]
@@ -375,13 +414,17 @@ def solvent_screening_specs(solvents=("PC", "DMSO", "ACN"),
             for ip in range(max(1, int(nperturb))):
                 for seed in (seeds if kind == "md" else seeds[:1]):
                     for jk in jks:
-                        specs.append(JobSpec(
-                            kind=kind, molecule=mol_name, basis=basis,
-                            method=method, jk=jk,
-                            perturb=perturb if ip else 0.0,
-                            perturb_seed=ip, seed=int(seed),
-                            label=f"{solvent.name}/{method}"
-                                  f"/p{ip}/s{seed}"
-                                  + (f"/{jk}" if len(jks) > 1 else ""),
-                            **overrides))
+                        for n_mts in mts_axis:
+                            specs.append(JobSpec(
+                                kind=kind, molecule=mol_name, basis=basis,
+                                method=method, jk=jk,
+                                perturb=perturb if ip else 0.0,
+                                perturb_seed=ip, seed=int(seed),
+                                mts_outer=int(n_mts),
+                                label=f"{solvent.name}/{method}"
+                                      f"/p{ip}/s{seed}"
+                                      + (f"/{jk}" if len(jks) > 1 else "")
+                                      + (f"/mts{n_mts}"
+                                         if len(mts_axis) > 1 else ""),
+                                **overrides))
     return specs

@@ -505,3 +505,32 @@ def test_bomd_incremental_engine_round_trip(tmp_path):
     assert revived.incremental
     got = revived.run(8)
     _assert_traj_identical(got, want)
+
+
+def test_bomd_cadence_aligned_final_step_writes_once(tmp_path):
+    """Regression: when the last MD step lands exactly on the snapshot
+    cadence, the cadence write and the final-state write used to both
+    fire for the same step id.  The dedup is structural now
+    (``_snapshot_if_new`` keys on the step), so a 6-step run at
+    checkpoint_every=2 produces exactly 4 writes: step 0, 2, 4, 6 —
+    the final step counted once."""
+    tr = Tracer()
+    cfg = ExecutionConfig(checkpoint_dir=str(tmp_path / "ck"),
+                          checkpoint_every=2, tracer=tr)
+    BOMD(builders.h2(0.78), dt_fs=0.5, config=cfg).run(6)
+    assert tr.metrics.get("checkpoint.writes") == 4
+
+
+def test_bomd_off_cadence_final_step_still_snapshotted(tmp_path):
+    """The companion case: a final step off the cadence gets its own
+    write (steps 0, 3, 5 -> 3 writes), so preemption always resumes
+    from the true end of the slice."""
+    tr = Tracer()
+    cfg = ExecutionConfig(checkpoint_dir=str(tmp_path / "ck"),
+                          checkpoint_every=3, tracer=tr)
+    b = BOMD(builders.h2(0.78), dt_fs=0.5, config=cfg)
+    b.run(5)
+    assert tr.metrics.get("checkpoint.writes") == 3
+    store = CheckpointStore(str(tmp_path / "ck"))
+    _, info = store.load_latest()
+    assert info.step == 5

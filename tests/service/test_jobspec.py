@@ -203,3 +203,54 @@ def test_solvent_screening_jk_axis():
     assert len({s.canonical_key() for s in specs}) == 1
     assert {s.label for s in specs} == {"PC/hf/p0/s0/direct",
                                         "PC/hf/p0/s0/ri"}
+
+
+# --- MTS (r-RESPA) axis -------------------------------------------------------
+
+
+def test_mts_fields_validate():
+    JobSpec(kind="md", molecule="h2", mts_outer=5, mts_inner="pbe",
+            mts_aspc_order=None)                       # all fine
+    for bad in [dict(mts_outer=0), dict(mts_outer=True),
+                dict(mts_outer=2.0), dict(mts_inner="pbe0"),
+                dict(mts_aspc_order=-1), dict(mts_aspc_order=1.5)]:
+        with pytest.raises(ValueError):
+            JobSpec(kind="md", molecule="h2", **bad)
+
+
+def test_mts_outer_changes_md_key_not_scf_key():
+    # the outer cadence changes the integrated trajectory (physics),
+    # so it must split the MD cache key; SCF keys ignore MD fields
+    md = JobSpec(kind="md", molecule="h2")
+    assert md.canonical_key() != md.replace(mts_outer=5).canonical_key()
+    assert md.canonical_key() != md.replace(mts_inner="pbe").canonical_key()
+    scf = JobSpec(kind="scf", molecule="h2")
+    assert scf.canonical_key() == scf.replace(
+        mts_outer=5, mts_inner="pbe").canonical_key()
+
+
+def test_mts_fields_survive_json_round_trip():
+    spec = JobSpec(kind="md", molecule="h2", mts_outer=3,
+                   mts_inner="lda", mts_aspc_order=1)
+    clone = JobSpec.from_json(spec.to_json())
+    assert clone == spec
+    assert clone.canonical_key() == spec.canonical_key()
+
+
+def test_solvent_screening_mts_axis():
+    specs = solvent_screening_specs(solvents=("PC",), methods=("hf",),
+                                    kind="md", steps=4,
+                                    mts_outers=(1, 5))
+    assert len(specs) == 2
+    assert {s.mts_outer for s in specs} == {1, 5}
+    # a different force cadence is a different trajectory: the axis
+    # splits the cache key, unlike the jk placement axis
+    assert len({s.canonical_key() for s in specs}) == 2
+    assert {s.label for s in specs} == {"PC/hf/p0/s0/mts1",
+                                        "PC/hf/p0/s0/mts5"}
+
+
+def test_solvent_screening_mts_axis_ignored_for_scf():
+    specs = solvent_screening_specs(solvents=("PC",), methods=("hf",),
+                                    kind="scf", mts_outers=(1, 3, 5))
+    assert len(specs) == 1

@@ -96,3 +96,55 @@ def test_submit_default_service_is_shared():
                                 basis="3-21g"))
     assert api.default_service().jobs[first.id] is first
     assert second.id == first.id + 1
+
+
+def test_run_scf_rejects_soscf_for_uhf_route():
+    """Explicitly requesting the Newton solver on an open-shell system
+    fails loudly at the boundary instead of silently running DIIS."""
+    spec = JobSpec(kind="scf", molecule="li_atom", multiplicity=2)
+    with pytest.raises(ValueError, match="closed-shell only"):
+        api.run_scf(spec, ExecutionConfig(scf_solver="soscf"))
+    # inline molecules carry the open shell past JobSpec validation;
+    # the api boundary still catches them
+    inline = JobSpec(kind="scf", molecule={
+        "symbols": ["Li"], "coords_bohr": [[0.0, 0.0, 0.0]],
+        "multiplicity": 2, "name": "li_inline"})
+    with pytest.raises(ValueError, match="li_inline"):
+        api.run_scf(inline, ExecutionConfig(scf_solver="soscf"))
+    # "auto" still quietly takes the DIIS route
+    res = api.run_scf(spec, ExecutionConfig(scf_solver="auto"))
+    assert res["method"] == "UHF"
+
+
+def test_run_md_mts_route(tmp_path):
+    """A spec with mts_outer > 1 runs the r-RESPA integrator and the
+    envelope reports the cadence; config overrides win."""
+    spec = JobSpec(kind="md", molecule="h2", steps=3, dt_fs=0.2,
+                   mts_outer=3, mts_inner="ff")
+    res = api.run_md(spec)
+    check_envelope(res, kind="md_result")
+    assert res["md"]["mts_outer"] == 3
+    assert res["md"]["mts_inner"] == "ff"
+    assert res["md"]["complete"] is True
+
+    # config override beats the spec, and plain specs report cadence 1
+    res2 = api.run_md(spec.replace(mts_outer=1), ExecutionConfig())
+    assert res2["md"]["mts_outer"] == 1
+    assert res2["md"]["mts_inner"] is None
+
+
+def test_run_md_mts_checkpoint_resume_bit_identical(tmp_path):
+    """Preempted MTS slices resume through restore_md's kind dispatch:
+    two 2+2 slices equal one 4-step run bitwise."""
+    spec = JobSpec(kind="md", molecule="h2", steps=4, dt_fs=0.2,
+                   mts_outer=2)
+    whole = api.run_md(spec)
+
+    cfg = ExecutionConfig(checkpoint_dir=str(tmp_path / "ck"),
+                          checkpoint_every=2)
+    first = api.run_md(spec, cfg, until_step=2)
+    assert first["md"]["step"] == 2 and not first["md"]["complete"]
+    second = api.run_md(spec, cfg)
+    assert second["md"]["restored_from"] == 2
+    assert second["md"]["mts_outer"] == 2
+    assert second["final"] == whole["final"]

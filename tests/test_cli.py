@@ -242,3 +242,57 @@ def test_campaign_screen_generator(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "2 job(s) queued" in out
     assert "PC/hf/p0/s0" in out and "PC/hf/p1/s0" in out
+
+
+def test_md_mts_run(capsys):
+    assert main(["md", "h2", "--steps", "3", "--dt", "0.2",
+                 "--mts-outer", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "MTS (r-RESPA): full HF force every 3 steps" in out
+    assert "'ff' inner surface" in out
+    assert "ASPC order 2" in out
+
+
+def test_md_mts_aspc_off_and_inner_choice(capsys):
+    assert main(["md", "h2", "--steps", "2", "--dt", "0.2",
+                 "--mts-outer", "2", "--mts-inner", "lda",
+                 "--mts-aspc-order", "-1"]) == 0
+    out = capsys.readouterr().out
+    assert "'lda' inner surface" in out
+    assert "ASPC off" in out
+
+
+def test_md_rejects_bad_mts_outer():
+    with pytest.raises(SystemExit, match="mts_outer"):
+        main(["md", "h2", "--steps", "2", "--mts-outer", "0"])
+
+
+def test_md_rejects_bad_mts_outer_env(monkeypatch):
+    monkeypatch.setenv("REPRO_MTS_OUTER", "many")
+    with pytest.raises(SystemExit, match="REPRO_MTS_OUTER"):
+        main(["md", "h2", "--steps", "2"])
+
+
+def test_md_mts_checkpoint_then_restore(tmp_path, capsys):
+    """--restore revives the MTS runner (kind-dispatched) and keeps
+    the r-RESPA cadence without re-passing --mts-outer."""
+    ck = str(tmp_path / "ck")
+    assert main(["md", "h2", "--steps", "2", "--dt", "0.2",
+                 "--mts-outer", "2", "--checkpoint", ck,
+                 "--checkpoint-every", "1"]) == 0
+    capsys.readouterr()
+    assert main(["md", "--restore", ck, "--steps", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "at step 2" in out
+    assert "steps 0..4" in out
+
+
+def test_campaign_screen_mts_axis(tmp_path, capsys):
+    d = str(tmp_path / "camp")
+    assert main(["campaign", "--dir", d, "submit", "--screen",
+                 "--solvents", "PC", "--methods", "hf",
+                 "--kind", "md", "--steps", "2",
+                 "--mts-outers", "1,5"]) == 0
+    out = capsys.readouterr().out
+    assert "2 job(s) queued" in out
+    assert "PC/hf/p0/s0/mts1" in out and "PC/hf/p0/s0/mts5" in out
