@@ -13,7 +13,10 @@ three calls over declarative :class:`repro.service.JobSpec` values:
   trajectory *resumes* bit-identically instead of restarting, and
   ``until_step`` lets a scheduler run it in time slices;
 * :func:`submit` — enqueue a spec on a campaign service (the
-  high-throughput path) instead of running it inline.
+  high-throughput path) instead of running it inline;
+* :func:`run_campaign` — submit a batch of specs to a campaign and
+  drain it in one call, with ``lanes`` / ``transport`` (thread or
+  forked-process lanes) / shared ``cache_dir`` knobs exposed.
 
 Every result is a schema-versioned envelope (see
 :mod:`repro.runtime.schema`): ``kind`` (``"scf_result"`` /
@@ -35,7 +38,8 @@ from .runtime.execconfig import ExecutionConfig, resolve_execution
 from .runtime.schema import result_envelope
 from .service.jobspec import JobSpec
 
-__all__ = ["run_scf", "run_md", "run_job", "submit", "default_service"]
+__all__ = ["run_scf", "run_md", "run_job", "submit", "default_service",
+           "run_campaign"]
 
 
 def _as_spec(spec: JobSpec | dict, kind: str | None = None) -> JobSpec:
@@ -284,3 +288,32 @@ def submit(spec: JobSpec | dict, service=None):
     """
     target = service if service is not None else default_service()
     return target.submit(_as_spec(spec))
+
+
+def run_campaign(specs, directory=None, *, lanes: int = 1,
+                 transport: str | None = None, cache_dir=None,
+                 config: ExecutionConfig | None = None,
+                 max_retries: int | None = None,
+                 preempt_steps: int | None = None) -> dict:
+    """Submit ``specs`` to a fresh campaign service and drain it.
+
+    The one-call facade over :class:`repro.service.CampaignService`:
+    ``directory`` makes the campaign durable (manifest, results store,
+    cache, checkpoints), ``lanes``/``transport`` pick the dispatch
+    width and lane backend (``"local"`` threads or ``"process"``
+    forked workers; ``None`` defers to the config /
+    ``REPRO_SERVICE_TRANSPORT`` / ``"local"``), and ``cache_dir``
+    points the content-addressed result cache somewhere shareable so
+    concurrent campaigns dedup each other's work.  Returns the
+    campaign report envelope.
+    """
+    from .service import CampaignService, DEFAULT_MAX_RETRIES
+
+    kwargs = {"config": config, "preempt_steps": preempt_steps,
+              "cache_dir": cache_dir,
+              "max_retries": DEFAULT_MAX_RETRIES
+              if max_retries is None else max_retries}
+    service = CampaignService(directory, **kwargs)
+    for spec in specs:
+        service.submit(_as_spec(spec))
+    return service.run(nworkers=lanes, transport=transport)

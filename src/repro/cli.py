@@ -336,15 +336,23 @@ def _cmd_campaign(args) -> int:
         return 0
 
     if args.action == "run":
-        from repro.runtime import ExecutionConfig
+        from repro.runtime import ExecutionConfig, Tracer
 
         pool_timeout, pool_max_retries = _pool_knobs()
+        tracer = Tracer(name="campaign") \
+            if (args.trace or args.profile) else None
         config = ExecutionConfig(pool_timeout=pool_timeout,
-                                 pool_max_retries=pool_max_retries)
+                                 pool_max_retries=pool_max_retries,
+                                 tracer=tracer, profile=args.profile)
         svc = _campaign_service(args, config=config,
                                 max_retries=args.max_retries,
-                                preempt_steps=args.preempt_steps)
-        report = svc.run(nworkers=args.lanes)
+                                preempt_steps=args.preempt_steps,
+                                cache_dir=args.cache_dir)
+        try:
+            report = svc.run(nworkers=args.lanes,
+                             transport=args.transport)
+        except ValueError as e:
+            raise SystemExit(f"error: {e}") from None
         if args.json:
             print(json.dumps(report, indent=2, sort_keys=True))
             return 0
@@ -360,7 +368,11 @@ def _cmd_campaign(args) -> int:
         hits = report["counters"].get("service.cache_hits", 0)
         print(f"campaign: {report['completed']}/{report['njobs']} "
               f"completed, {report['failed']} failed, "
-              f"{hits} cache hit(s), {report['wall_s']:.2f}s")
+              f"{hits} cache hit(s), "
+              f"{report['transport']} lanes, {report['wall_s']:.2f}s")
+        _emit_trace_and_profile(
+            tracer, args, quiet=False, say=print,
+            title=f"profile: campaign '{args.dir}'")
         return 0 if report["failed"] == 0 else 1
 
     svc = _campaign_service(args)
@@ -671,6 +683,15 @@ def build_parser() -> argparse.ArgumentParser:
     gr = gsub.add_parser("run", help="drain the queue")
     gr.add_argument("--lanes", type=_positive_int, default=1,
                     help="concurrent dispatch lanes (default 1)")
+    gr.add_argument("--transport", default=None,
+                    choices=["local", "process"],
+                    help="lane backend: 'local' threads or 'process' "
+                         "forked workers (default: "
+                         "REPRO_SERVICE_TRANSPORT or local)")
+    gr.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="shared result-cache directory (default: "
+                         "<campaign>/cache); point concurrent campaigns "
+                         "at one DIR to dedup work across them")
     gr.add_argument("--preempt-steps", type=_positive_int, default=None,
                     metavar="N",
                     help="slice MD trajectories every N steps through "
@@ -679,6 +700,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="execution attempts per job beyond the first")
     gr.add_argument("--json", action="store_true",
                     help="emit the campaign report as JSON")
+    gr.add_argument("--trace", metavar="FILE",
+                    help="write a Chrome-trace JSON of the drain "
+                         "(transport.* spans included)")
+    gr.add_argument("--profile", action="store_true",
+                    help="print a per-span profile table after the "
+                         "drain (service.* and transport.* counters)")
     gt = gsub.add_parser("status", help="queue and counter overview")
     gt.add_argument("--json", action="store_true")
     gq = gsub.add_parser("results", help="retired job records")

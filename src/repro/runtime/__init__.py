@@ -12,7 +12,10 @@ from .telemetry import (Span, Tracer, NullTracer, NULL_TRACER,
                         MetricsRegistry, TelemetrySnapshot, chrome_trace)
 from .execconfig import (ExecutionConfig, DEFAULT_EXECUTION,
                          resolve_execution, resolve_mts_outer,
-                         MTS_INNER_ENGINES)
+                         MTS_INNER_ENGINES, SERVICE_TRANSPORTS,
+                         resolve_service_transport)
+from .fsio import (atomic_write_bytes, atomic_write_text, FileLock,
+                   HAVE_FLOCK)
 from .schema import (SCHEMA_VERSION, ENVELOPE_KEYS, result_envelope,
                      check_envelope)
 from .checkpoint import (CheckpointError, CheckpointCorruptError,
@@ -30,7 +33,9 @@ __all__ = [
     "Span", "Tracer", "NullTracer", "NULL_TRACER",
     "MetricsRegistry", "TelemetrySnapshot", "chrome_trace",
     "ExecutionConfig", "DEFAULT_EXECUTION", "resolve_execution",
-    "resolve_mts_outer", "MTS_INNER_ENGINES",
+    "resolve_mts_outer", "MTS_INNER_ENGINES", "SERVICE_TRANSPORTS",
+    "resolve_service_transport",
+    "atomic_write_bytes", "atomic_write_text", "FileLock", "HAVE_FLOCK",
     "SCHEMA_VERSION", "ENVELOPE_KEYS", "result_envelope", "check_envelope",
     "CheckpointError", "CheckpointCorruptError", "CheckpointStore",
     "Restartable", "RestartableRNG", "SnapshotInfo",

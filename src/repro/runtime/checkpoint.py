@@ -56,6 +56,8 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from .fsio import atomic_write_bytes, fsync_dir
+
 __all__ = [
     "CheckpointError", "CheckpointCorruptError", "Restartable",
     "RestartableRNG", "SnapshotInfo", "CheckpointStore",
@@ -248,26 +250,10 @@ class CheckpointStore:
                             nbytes=len(header) + len(payload))
 
     def _atomic_write(self, path: Path, data: bytes) -> None:
-        tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "wb") as fh:
-            fh.write(data)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        atomic_write_bytes(path, data)
 
     def _fsync_dir(self) -> None:
-        # best-effort: makes the renames durable on POSIX; some
-        # filesystems/platforms refuse O_RDONLY directory fds
-        try:
-            fd = os.open(self.directory, os.O_RDONLY)
-        except OSError:
-            return
-        try:
-            os.fsync(fd)
-        except OSError:
-            pass
-        finally:
-            os.close(fd)
+        fsync_dir(self.directory)
 
     def _prune(self, keep_name: str) -> None:
         """Drop ring overflow and stale tmp files; never the newest."""

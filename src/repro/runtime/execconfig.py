@@ -20,7 +20,8 @@ from .telemetry import NULL_TRACER, Tracer
 
 __all__ = ["ExecutionConfig", "DEFAULT_EXECUTION", "resolve_execution",
            "resolve_mts_outer", "MTS_INNER_ENGINES",
-           "DEFAULT_MTS_OUTER"]
+           "DEFAULT_MTS_OUTER", "SERVICE_TRANSPORTS",
+           "resolve_service_transport", "DEFAULT_SERVICE_TRANSPORT"]
 
 _EXECUTORS = ("serial", "process")
 _KERNELS = ("quartet", "batched")
@@ -34,6 +35,43 @@ _JK_MODES = ("direct", "ri")
 MTS_INNER_ENGINES = ("ff", "lda", "pbe")
 
 DEFAULT_MTS_OUTER = 1
+
+#: Lane transports the campaign service accepts: ``"local"`` (threads
+#: inside the service process; the bit-exact reference) or ``"process"``
+#: (persistent forked lane workers speaking the framed RPC protocol of
+#: :mod:`repro.service.transport`).
+SERVICE_TRANSPORTS = ("local", "process")
+
+DEFAULT_SERVICE_TRANSPORT = "local"
+
+
+def resolve_service_transport(value=None) -> str:
+    """Boundary validator for the campaign lane transport.
+
+    ``None`` falls back to ``REPRO_SERVICE_TRANSPORT`` and then to
+    ``"local"``.  Booleans, empty strings, and unknown names are
+    rejected with an actionable message, mirroring
+    :func:`resolve_nworkers` / :func:`resolve_pool_timeout` — a typo'd
+    override fails here, not deep inside the campaign drain.
+    """
+    if value is None:
+        env = os.environ.get("REPRO_SERVICE_TRANSPORT")
+        if env is None:
+            return DEFAULT_SERVICE_TRANSPORT
+        if env not in SERVICE_TRANSPORTS:
+            raise ValueError(
+                f"REPRO_SERVICE_TRANSPORT must be one of "
+                f"{SERVICE_TRANSPORTS}, got {env!r}")
+        return env
+    if isinstance(value, bool) or not isinstance(value, str):
+        raise ValueError(
+            f"service transport must be one of {SERVICE_TRANSPORTS}, "
+            f"got {value!r}")
+    if value not in SERVICE_TRANSPORTS:
+        raise ValueError(
+            f"service transport must be one of {SERVICE_TRANSPORTS}, "
+            f"got {value!r}")
+    return value
 
 
 def resolve_mts_outer(n: int | None = None) -> int:
@@ -136,6 +174,14 @@ class ExecutionConfig:
         Fast-force surface for the RESPA inner loop: ``"ff"`` (the
         classical harmonic/LJ force field), ``"lda"`` or ``"pbe"``
         (pure, no-HFX DFT).  ``None`` defaults to ``"ff"``.
+    service_transport:
+        How the campaign service runs its dispatch lanes: ``"local"``
+        (threads inside the service process; the bit-exact reference)
+        or ``"process"`` (persistent forked lane workers speaking the
+        framed RPC protocol of :mod:`repro.service.transport`, with
+        heartbeat liveness, job leases, and requeue-on-death).
+        ``None`` defaults to ``REPRO_SERVICE_TRANSPORT`` or
+        ``"local"``.  Only the campaign layer reads this field.
     """
 
     executor: str = "serial"
@@ -152,6 +198,7 @@ class ExecutionConfig:
     checkpoint_keep: int | None = None
     mts_outer: int | None = None
     mts_inner_engine: str | None = None
+    service_transport: str | None = None
 
     def __post_init__(self) -> None:
         if self.executor not in _EXECUTORS:
@@ -219,6 +266,8 @@ class ExecutionConfig:
                 f"mts_inner_engine must be one of {MTS_INNER_ENGINES} "
                 f"(the RESPA fast loop needs a cheap, HFX-free surface), "
                 f"got {self.mts_inner_engine!r}")
+        if self.service_transport is not None:
+            resolve_service_transport(self.service_transport)
 
     @property
     def trace(self) -> Tracer:

@@ -13,6 +13,10 @@ end; :mod:`repro.api` is the programmatic one.
 from .jobspec import JobSpec, solvent_screening_specs
 from .cache import ResultCache
 from .store import ResultsStore
+from .transport import (FrameError, LaneTransport, LaneWorkerDeath,
+                        LocalLaneTransport, ProcessLaneTransport,
+                        encode_frame, make_transport, read_frame,
+                        try_decode)
 from .scheduler import (CampaignService, Job, InjectedWorkerDeath,
                         DEFAULT_MAX_RETRIES)
 
@@ -21,4 +25,7 @@ __all__ = [
     "ResultCache", "ResultsStore",
     "CampaignService", "Job", "InjectedWorkerDeath",
     "DEFAULT_MAX_RETRIES",
+    "FrameError", "LaneTransport", "LaneWorkerDeath",
+    "LocalLaneTransport", "ProcessLaneTransport",
+    "encode_frame", "read_frame", "try_decode", "make_transport",
 ]

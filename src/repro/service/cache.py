@@ -8,25 +8,54 @@ the cache for free: zero Fock builds, zero MD steps.
 
 The cache is a directory of ``<key>.json`` records (schema-versioned
 envelopes, see :mod:`repro.runtime.schema`) so it survives process
-restarts and can be shared between campaigns; with ``directory=None``
-it degrades to a per-process in-memory dict.  A record that fails to
-parse or fails the envelope check is treated as a miss (and the stale
-file is ignored, not trusted) — a corrupt cache can cost a recompute,
-never a wrong answer.
+restarts and is safe to share **across concurrent campaigns and
+processes**:
+
+* every record write is atomic (unique-temp + fsync + ``os.replace``,
+  :func:`repro.runtime.fsio.atomic_write_text`) and serialized through
+  an advisory ``flock`` on the directory's ``.lock`` sidecar, so any
+  number of writers leave every record complete and readable;
+* :meth:`lock`/:meth:`try_lock` expose a **per-key compute lock**
+  (``<key>.lock`` sidecars): a campaign about to compute a missing key
+  takes it first, so a twin spec submitted to a *different* campaign on
+  the same cache directory blocks until the first compute lands and is
+  then served from the cache — duplicate specs across concurrent
+  campaigns cost one compute, not two.  ``flock`` locks die with their
+  holder, so a killed campaign never wedges its siblings.
+
+With ``directory=None`` it degrades to a per-process in-memory dict
+(the compute locks degrade to always-granted no-ops).  A record that
+fails to parse or fails the envelope check is treated as a miss (and
+the stale file is ignored, not trusted) — a corrupt cache can cost a
+recompute, never a wrong answer.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
-import os
 import re
 from pathlib import Path
 
+from ..runtime.fsio import FileLock, atomic_write_text
 from ..runtime.schema import check_envelope
 
 __all__ = ["ResultCache"]
 
 _KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+class _HeldNothing:
+    """The granted no-op compute lock of the in-memory cache."""
+
+    def release(self) -> None:
+        pass
+
+    def __enter__(self) -> "_HeldNothing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
 
 
 class ResultCache:
@@ -37,7 +66,8 @@ class ResultCache:
     directory:
         Where records live (created lazily on the first :meth:`put`);
         ``None`` keeps the cache in memory for the lifetime of the
-        process.
+        process.  A directory may be shared by any number of campaign
+        services in any number of processes.
     """
 
     def __init__(self, directory=None):
@@ -72,7 +102,14 @@ class ResultCache:
             return None     # stale/foreign record: recompute, don't trust
 
     def put(self, key: str, result: dict) -> None:
-        """Store a result envelope under ``key`` (atomic on disk)."""
+        """Store a result envelope under ``key``.
+
+        Process-safe: the record is written atomically under the
+        directory's advisory write lock, so concurrent campaigns
+        hammering one cache directory can only ever race complete
+        records against each other (last writer wins; both are valid
+        answers to the same content address).
+        """
         self._check_key(key)
         check_envelope(result)
         if self.directory is None:
@@ -81,10 +118,38 @@ class ResultCache:
             self._mem[key] = json.loads(json.dumps(result))
             return
         self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(result, sort_keys=True))
-        os.replace(tmp, path)
+        with FileLock(self.directory / ".lock"):
+            atomic_write_text(self._path(key),
+                              json.dumps(result, sort_keys=True))
+
+    def lock(self, key: str):
+        """Blocking per-key compute lock (context manager).
+
+        The cross-campaign dedup protocol: check :meth:`get`, then take
+        this lock, then check :meth:`get` **again** before computing —
+        a twin campaign that held the lock has landed its record by the
+        time the second check runs.
+        """
+        self._check_key(key)
+        if self.directory is None:
+            return contextlib.nullcontext()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        return FileLock(self.directory / f"{key}.lock")
+
+    def try_lock(self, key: str):
+        """Non-blocking per-key compute lock.
+
+        Returns a held lock (``release()`` it when the record is in) or
+        ``None`` when another process is already computing this key —
+        the event-loop flavour of :meth:`lock` for callers that must
+        not block (the process lane transport's dispatch loop).
+        """
+        self._check_key(key)
+        if self.directory is None:
+            return _HeldNothing()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lk = FileLock(self.directory / f"{key}.lock")
+        return lk if lk.acquire(blocking=False) else None
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None

@@ -10,7 +10,11 @@ the one-shot CLI into a long-running screening service.  A
   dispatch lanes — each lane runs jobs through the one public
   :mod:`repro.api` entrypoint, and a job that uses
   ``executor="process"`` gets its own persistent worker pool
-  underneath (PR 4's fault-tolerant pool),
+  underneath (PR 4's fault-tolerant pool).  *How* the lanes execute is
+  a pluggable :mod:`~repro.service.transport`: ``"local"`` lanes are
+  threads in this process (the bit-exact reference), ``"process"``
+  lanes are persistent forked workers behind a framed RPC protocol
+  with heartbeat liveness and job leases,
 * **per-job fault isolation**: an exception (a dead pool, a diverged
   SCF, an injected worker death) fails *that job* after its retry
   budget — never the campaign,
@@ -30,25 +34,31 @@ registry and mirrored into the campaign tracer when one is attached.
 
 Deterministic fault injection (tests/benchmarks only):
 ``REPRO_SERVICE_FAULT="job=N[,times=K]"`` makes the first ``K``
-execution attempts of job ``N`` die with :class:`InjectedWorkerDeath`.
+execution attempts of job ``N`` die with :class:`InjectedWorkerDeath`
+(any transport); ``"worker=W[,exec=N][,mode=kill|hang]"`` kills or
+wedges a process-transport lane worker (see
+:func:`~repro.service.transport.parse_service_fault`).
 """
 
 from __future__ import annotations
 
 import json
 import os
-import re
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..runtime.execconfig import ExecutionConfig, resolve_execution
+from ..runtime.execconfig import (ExecutionConfig, resolve_execution,
+                                  resolve_service_transport)
+from ..runtime.fsio import atomic_write_text
 from ..runtime.schema import check_envelope, result_envelope
 from ..runtime.telemetry import MetricsRegistry
 from .cache import ResultCache
 from .jobspec import JobSpec
 from .store import ResultsStore
+from .transport import make_transport, parse_service_fault
 
 __all__ = ["Job", "CampaignService", "InjectedWorkerDeath",
            "DEFAULT_MAX_RETRIES"]
@@ -57,25 +67,11 @@ __all__ = ["Job", "CampaignService", "InjectedWorkerDeath",
 #: exhausting the budget fails the job, never the campaign).
 DEFAULT_MAX_RETRIES = 1
 
-_FAULT_RE = re.compile(r"^job=(\d+)(?:,times=(\d+))?$")
-
 _JOB_STATUSES = ("pending", "running", "done", "failed")
 
 
 class InjectedWorkerDeath(RuntimeError):
     """Deterministic test fault: a job's execution lane 'died'."""
-
-
-def _parse_service_fault(spec: str | None) -> dict[int, int]:
-    """``REPRO_SERVICE_FAULT`` -> ``{job_id: remaining_deaths}``."""
-    if not spec:
-        return {}
-    m = _FAULT_RE.match(spec.strip())
-    if not m:
-        raise ValueError(
-            f"REPRO_SERVICE_FAULT must look like 'job=N[,times=K]', "
-            f"got {spec!r}")
-    return {int(m.group(1)): int(m.group(2) or 1)}
 
 
 @dataclass
@@ -151,11 +147,20 @@ class CampaignService:
         MD time-slice in steps: a trajectory yields the lane and
         re-enters the queue every ``preempt_steps`` steps (requires
         ``directory``).  ``None`` runs trajectories to completion.
+    cache_dir:
+        Where the content-addressed result cache lives.  Defaults to
+        ``<directory>/cache`` (or in-memory for a memory-only
+        campaign).  Point several campaigns — including campaigns in
+        different processes — at one ``cache_dir`` and duplicate specs
+        across them cost a single compute: the cache's per-key compute
+        locks serialize the first execution and every twin is served
+        from the landed record.
     """
 
     def __init__(self, directory=None, config: ExecutionConfig | None = None,
                  max_retries: int = DEFAULT_MAX_RETRIES,
-                 preempt_steps: int | None = None):
+                 preempt_steps: int | None = None,
+                 cache_dir=None):
         if isinstance(max_retries, bool) or not isinstance(max_retries, int) \
                 or max_retries < 0:
             raise ValueError(f"max_retries must be a non-negative integer, "
@@ -176,8 +181,11 @@ class CampaignService:
         self.jobs: dict[int, Job] = {}
         self._next_id = 0
         self.metrics = MetricsRegistry()
-        self.cache = ResultCache(self.directory / "cache"
-                                 if self.directory else None)
+        if cache_dir is not None:
+            self.cache = ResultCache(cache_dir)
+        else:
+            self.cache = ResultCache(self.directory / "cache"
+                                     if self.directory else None)
         self.store = ResultsStore(self.directory) if self.directory else None
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -211,23 +219,34 @@ class CampaignService:
                 next_id=self._next_id,
                 jobs=[self.jobs[i].record() for i in sorted(self.jobs)],
             )
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._manifest_path()
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(manifest, sort_keys=True))
-        os.replace(tmp, path)
+        # unique-temp + fsync + replace: concurrent campaigns on one
+        # directory race complete manifests, never fragments
+        atomic_write_text(self._manifest_path(),
+                          json.dumps(manifest, sort_keys=True))
 
     def _load(self) -> None:
         path = self._manifest_path()
         if not path.is_file():
             return
-        manifest = check_envelope(json.loads(path.read_text()),
-                                  kind="campaign")
-        self.jobs = {}
-        for record in manifest.get("jobs", ()):
-            job = Job.from_record(record)
-            self.jobs[job.id] = job
-        self._next_id = int(manifest.get("next_id", len(self.jobs)))
+        try:
+            manifest = check_envelope(json.loads(path.read_text()),
+                                      kind="campaign")
+            jobs: dict[int, Job] = {}
+            for record in manifest.get("jobs", ()):
+                job = Job.from_record(record)
+                jobs[job.id] = job
+            next_id = int(manifest.get("next_id", len(jobs)))
+        except (OSError, ValueError, TypeError, KeyError) as e:
+            # a torn or foreign manifest must not brick the campaign
+            # directory: warn, keep the file for post-mortem, start
+            # with an empty queue (results/cache records are untouched)
+            warnings.warn(
+                f"campaign manifest '{path}' is unreadable "
+                f"({type(e).__name__}: {e}); starting with an empty "
+                f"queue", RuntimeWarning, stacklevel=2)
+            return
+        self.jobs = jobs
+        self._next_id = next_id
         self.metrics.set_state(manifest.get("counters", {}))
 
     # --- queue API ------------------------------------------------------------
@@ -284,33 +303,32 @@ class CampaignService:
 
     # --- scheduler ------------------------------------------------------------
 
-    def run(self, nworkers: int = 1) -> dict:
+    def run(self, nworkers: int = 1, transport: str | None = None) -> dict:
         """Drain the queue across ``nworkers`` dispatch lanes.
 
-        Returns a campaign report envelope (job outcomes + ``service.*``
-        counters).  Safe to call again after further ``submit``\\ s.
+        ``transport`` picks the lane backend (``"local"`` threads or
+        ``"process"`` forked workers); ``None`` falls back to the
+        config's ``service_transport``, then ``REPRO_SERVICE_TRANSPORT``,
+        then ``"local"``.  Returns a campaign report envelope (job
+        outcomes + ``service.*`` counters).  Safe to call again after
+        further ``submit``\\ s.
         """
         if isinstance(nworkers, bool) or not isinstance(nworkers, int) \
                 or nworkers < 1:
             raise ValueError(f"nworkers must be a positive integer, "
                              f"got {nworkers!r}")
-        self._fault_budget = _parse_service_fault(
-            os.environ.get("REPRO_SERVICE_FAULT"))
+        chosen = transport if transport is not None \
+            else self.config.service_transport
+        name = resolve_service_transport(chosen)
+        fault = parse_service_fault(os.environ.get("REPRO_SERVICE_FAULT"))
+        self._fault_budget = dict(fault[1]) \
+            if fault is not None and fault[0] == "job" else {}
         t0 = time.perf_counter()
-        if nworkers == 1:
-            self._lane(self.config)
-        else:
-            # the span tracer is not thread-safe: lanes beyond the
-            # first run their jobs untraced (counters still accumulate
-            # on the service registry, which is lock-guarded)
-            lane_cfg = self.config.replace(tracer=None)
-            threads = [threading.Thread(target=self._lane, args=(lane_cfg,),
-                                        name=f"campaign-lane-{i}")
-                       for i in range(nworkers)]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
+        lanes = make_transport(name, self, nworkers, self.config)
+        try:
+            lanes.drain()
+        finally:
+            lanes.close()
         self._save()
         with self._lock:
             jobs = [self.jobs[i] for i in sorted(self.jobs)]
@@ -319,6 +337,7 @@ class CampaignService:
                 wall_s=time.perf_counter() - t0,
                 counters=self.metrics.to_dict(),
                 njobs=len(jobs),
+                transport=name,
                 completed=sum(j.status == "done" for j in jobs),
                 failed=sum(j.status == "failed" for j in jobs),
                 jobs=[{"id": j.id,
@@ -353,6 +372,43 @@ class CampaignService:
                     return None
                 self._cond.wait(timeout=0.2)
 
+    def _claim_nowait(self, skip=()) -> Job | None:
+        """Non-blocking :meth:`_claim` for event-loop transports.
+
+        ``skip`` holds cache keys to pass over this round (keys whose
+        compute lock a twin campaign currently holds).  Returns
+        ``None`` when nothing is claimable *right now* — the caller
+        keeps draining leases and asks again.
+        """
+        with self._cond:
+            for jid in sorted(self.jobs):
+                job = self.jobs[jid]
+                if job.status == "pending" and \
+                        job.key not in self._inflight and \
+                        job.key not in skip:
+                    job.status = "running"
+                    self._inflight.add(job.key)
+                    return job
+            return None
+
+    def _unclaim(self, job: Job) -> None:
+        """Put a claimed-but-undispatched job back in the queue."""
+        with self._cond:
+            job.status = "pending"
+            self._inflight.discard(job.key)
+            self._cond.notify_all()
+
+    def _has_pending(self) -> bool:
+        with self._lock:
+            return any(j.status == "pending" for j in self.jobs.values())
+
+    def _finish(self, job: Job) -> None:
+        """Release a job's in-flight slot and persist the manifest."""
+        with self._cond:
+            self._inflight.discard(job.key)
+            self._cond.notify_all()
+        self._save()
+
     def _lane(self, config: ExecutionConfig) -> None:
         """One dispatch lane: claim, run, retire, repeat."""
         while True:
@@ -360,10 +416,7 @@ class CampaignService:
             if job is None:
                 return
             self._run_one(job, config)
-            with self._cond:
-                self._inflight.discard(job.key)
-                self._cond.notify_all()
-            self._save()
+            self._finish(job)
 
     # --- per-job execution ----------------------------------------------------
 
@@ -382,57 +435,56 @@ class CampaignService:
                                    / f"job-{job.id:05d}"))
         return cfg
 
+    def _until_step(self, job: Job) -> int | None:
+        """The MD step this attempt runs to (``None`` = completion)."""
+        if job.spec.kind == "md" and self.preempt_steps is not None:
+            return min(job.spec.steps, job.steps_done + self.preempt_steps)
+        return None
+
+    def _take_injected_fault(self, job: Job) -> bool:
+        """Consume one ``job=N`` fault charge, if this job has any."""
+        with self._lock:
+            remaining = self._fault_budget.get(job.id, 0)
+            if remaining > 0:
+                self._fault_budget[job.id] = remaining - 1
+                return True
+            return False
+
     def _execute(self, job: Job, config: ExecutionConfig) -> dict:
         """One execution attempt (the fault-isolation boundary)."""
-        remaining = self._fault_budget.get(job.id, 0)
-        if remaining > 0:
-            self._fault_budget[job.id] = remaining - 1
-            raise InjectedWorkerDeath(
-                f"injected worker death on job {job.id} "
-                f"(REPRO_SERVICE_FAULT)")
         from .. import api
 
-        until = None
-        if job.spec.kind == "md" and self.preempt_steps is not None:
-            until = min(job.spec.steps,
-                        job.steps_done + self.preempt_steps)
         return api.run_job(job.spec, config=self._job_config(job, config),
-                           until_step=until)
+                           until_step=self._until_step(job))
 
-    def _run_one(self, job: Job, config: ExecutionConfig) -> None:
-        """Serve one claimed job: cache, execute, retire (or requeue)."""
-        t0 = time.perf_counter()
-        try:
-            cached = self.cache.get(job.key)
-            if cached is not None:
-                job.result = cached
-                job.cache_hit = True
-                job.status = "done"
-                job.wall_s += time.perf_counter() - t0
-                self._count("service.cache_hits")
-                self._count("service.jobs_completed")
-                self._retire(job)
-                return
-            result = self._execute(job, config)
-        except Exception as e:      # per-job isolation: never the campaign
-            job.wall_s += time.perf_counter() - t0
-            job.attempts += 1
-            if job.attempts <= self.max_retries:
-                job.status = "pending"
-                self._count("service.jobs_retried")
-                return
-            job.status = "failed"
-            job.error = f"{type(e).__name__}: {e}"
-            self._count("service.jobs_failed")
-            self._retire(job)
-            return
-        job.wall_s += time.perf_counter() - t0
+    def _serve_cached(self, job: Job) -> bool:
+        """Retire ``job`` from the cache if its record is in."""
+        cached = self.cache.get(job.key)
+        if cached is None:
+            return False
+        job.result = cached
+        job.cache_hit = True
+        job.status = "done"
+        self._count("service.cache_hits")
+        self._count("service.jobs_completed")
+        self._retire(job)
+        return True
+
+    def _record_success(self, job: Job, result: dict,
+                        elapsed: float) -> None:
+        """Fold one successful execution attempt into the job.
+
+        An MD slice that stopped short of the spec's step count was
+        preempted: it re-enters the queue (the checkpoint store holds
+        the slice-boundary snapshot).  A finished job lands in the
+        cache and retires.  Call with the job's cache compute lock
+        held, so a twin campaign's recheck sees the record.
+        """
+        job.wall_s += elapsed
         if job.spec.kind == "md":
             step = int(result.get("md", {}).get("step", job.spec.steps))
             job.steps_done = step
             if step < job.spec.steps:
-                # preempted mid-trajectory: back in the queue; the
-                # checkpoint store holds the slice boundary snapshot
                 job.status = "pending"
                 self._count("service.jobs_preempted")
                 return
@@ -442,6 +494,51 @@ class CampaignService:
         job.status = "done"
         self._count("service.jobs_completed")
         self._retire(job)
+
+    def _record_failure(self, job: Job, error: str, elapsed: float,
+                        counter: str = "service.jobs_retried") -> None:
+        """Fold one failed attempt into the job: requeue within the
+        retry budget (bumping ``counter`` — ``service.requeued_jobs``
+        for transport-level worker deaths), else fail and retire."""
+        job.wall_s += elapsed
+        job.attempts += 1
+        if job.attempts <= self.max_retries:
+            job.status = "pending"
+            self._count(counter)
+            return
+        job.status = "failed"
+        job.error = error
+        self._count("service.jobs_failed")
+        self._retire(job)
+
+    def _run_one(self, job: Job, config: ExecutionConfig) -> None:
+        """Serve one claimed job: cache, execute, retire (or requeue).
+
+        The get → lock → get-again dance is the cross-campaign dedup
+        protocol (:meth:`ResultCache.lock`): when a twin campaign in
+        another process is already computing this key, this lane blocks
+        on the key's compute lock and is served from the cache the
+        moment the twin's record lands.
+        """
+        t0 = time.perf_counter()
+        if self._serve_cached(job):
+            job.wall_s += time.perf_counter() - t0
+            return
+        with self.cache.lock(job.key):
+            if self._serve_cached(job):
+                job.wall_s += time.perf_counter() - t0
+                return
+            try:
+                if self._take_injected_fault(job):
+                    raise InjectedWorkerDeath(
+                        f"injected worker death on job {job.id} "
+                        f"(REPRO_SERVICE_FAULT)")
+                result = self._execute(job, config)
+            except Exception as e:  # per-job isolation: never the campaign
+                self._record_failure(job, f"{type(e).__name__}: {e}",
+                                     time.perf_counter() - t0)
+                return
+            self._record_success(job, result, time.perf_counter() - t0)
 
     def _retire(self, job: Job) -> None:
         if self.store is not None:

@@ -12,9 +12,9 @@ is the contract between them.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
+from ..runtime.fsio import atomic_write_text
 from ..runtime.schema import check_envelope
 
 __all__ = ["ResultsStore"]
@@ -32,14 +32,15 @@ class ResultsStore:
         return f"job-{int(job_id):05d}.json"
 
     def write(self, job_id: int, record: dict) -> Path:
-        """Atomically persist one job record (a schema envelope)."""
+        """Atomically persist one job record (a schema envelope).
+
+        Unique-temp + fsync + replace (:mod:`repro.runtime.fsio`), so a
+        crash mid-write can never leave a torn record and two processes
+        retiring the same job id race complete files, not fragments.
+        """
         check_envelope(record)
-        self.results_dir.mkdir(parents=True, exist_ok=True)
         path = self.results_dir / self._name(job_id)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(record, sort_keys=True))
-        os.replace(tmp, path)
-        return path
+        return atomic_write_text(path, json.dumps(record, sort_keys=True))
 
     def read(self, job_id: int) -> dict:
         """One job record, envelope-checked at the boundary."""

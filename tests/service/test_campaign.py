@@ -202,6 +202,25 @@ def test_job_record_round_trip():
     assert clone == job
 
 
+@pytest.mark.parametrize("garbage", ["", "{not json", '{"kind": "job"}',
+                                     '{"jobs": [{"torn": tru'])
+def test_unreadable_manifest_warns_and_starts_empty(tmp_path, garbage):
+    """A torn or foreign campaign.json must not brick the directory:
+    the service warns, keeps the file for post-mortem, and starts with
+    an empty queue."""
+    svc = CampaignService(tmp_path)
+    svc.submit(H2_SCF)
+    manifest = tmp_path / "campaign.json"
+    manifest.write_text(garbage)
+    with pytest.warns(RuntimeWarning, match="unreadable"):
+        resumed = CampaignService(tmp_path)
+    assert resumed.jobs == {}
+    assert manifest.read_text() == garbage   # evidence preserved...
+    job = resumed.submit(H2_SCF)             # ...and the service works
+    assert resumed.run()["completed"] == 1
+    assert job.id == 0
+
+
 def test_status_envelope():
     svc = CampaignService()
     svc.submit(H2_SCF)

@@ -1,0 +1,298 @@
+"""Lane transports: frame-codec properties, forked process lanes,
+worker-death requeue, hang detection, degradation, parity vs local."""
+
+import io
+import warnings
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import ExecutionConfig
+from repro.service import (CampaignService, FrameError, JobSpec,
+                           LocalLaneTransport, ProcessLaneTransport,
+                           encode_frame, make_transport, read_frame,
+                           try_decode)
+from repro.service.transport import (FRAME_MAGIC, FRAME_VERSION,
+                                     MAX_FRAME_BYTES, _FRAME_HEADER,
+                                     parse_service_fault)
+
+pytestmark = [pytest.mark.service, pytest.mark.transport]
+
+H2_SCF = JobSpec(kind="scf", molecule="h2")
+LIH_SCF = JobSpec(kind="scf", molecule="lih")
+H2_MD = JobSpec(kind="md", molecule="h2", steps=3, dt_fs=0.5)
+
+
+def _strip(record):
+    """Drop the timing/telemetry fields that legitimately differ."""
+    if isinstance(record, dict):
+        return {k: _strip(v) for k, v in record.items()
+                if k not in ("wall_s", "counters")}
+    if isinstance(record, list):
+        return [_strip(v) for v in record]
+    return record
+
+
+# --- frame codec: properties --------------------------------------------------
+
+_payloads = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False)
+    | st.text(max_size=40) | st.binary(max_size=40),
+    lambda inner: st.lists(inner, max_size=4)
+    | st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    max_leaves=12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_payloads)
+def test_codec_round_trips_arbitrary_payloads(obj):
+    frame = encode_frame(obj)
+    decoded, consumed = try_decode(frame)
+    assert decoded == obj and consumed == len(frame)
+    assert read_frame(io.BytesIO(frame).read) == obj
+
+
+@settings(max_examples=60, deadline=None)
+@given(_payloads, st.binary(min_size=1, max_size=30))
+def test_codec_consumes_exactly_one_frame(obj, trailing):
+    frame = encode_frame(obj)
+    decoded, consumed = try_decode(frame + trailing)
+    assert decoded == obj and consumed == len(frame)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_payloads, st.data())
+def test_codec_partial_frame_is_incomplete_not_garbage(obj, data):
+    frame = encode_frame(obj)
+    cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    assert try_decode(frame[:cut]) is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(_payloads, st.data())
+def test_codec_truncated_stream_raises_not_hangs(obj, data):
+    frame = encode_frame(obj)
+    cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+    with pytest.raises(FrameError, match="stream ended"):
+        read_frame(io.BytesIO(frame[:cut]).read)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=1, max_size=64))
+def test_codec_rejects_garbage_headers(blob):
+    # any stream whose first bytes are not a prefix of the magic is
+    # diagnosed as garbage immediately, never waited on
+    assume(not FRAME_MAGIC.startswith(blob[:len(FRAME_MAGIC)]))
+    with pytest.raises(FrameError, match="magic|garbage"):
+        try_decode(blob)
+
+
+def test_codec_refuses_version_mismatch():
+    frame = encode_frame({"op": "hb"}, version=FRAME_VERSION + 1)
+    with pytest.raises(FrameError, match="version"):
+        try_decode(frame)
+    with pytest.raises(FrameError, match="version"):
+        read_frame(io.BytesIO(frame).read)
+
+
+def test_codec_refuses_oversize_length():
+    header = _FRAME_HEADER.pack(FRAME_MAGIC, FRAME_VERSION,
+                                MAX_FRAME_BYTES + 1)
+    with pytest.raises(FrameError, match="ceiling"):
+        try_decode(header)
+
+
+def test_codec_diagnoses_undecodable_payload():
+    payload = b"\x00not a pickle\xff"
+    frame = _FRAME_HEADER.pack(FRAME_MAGIC, FRAME_VERSION,
+                               len(payload)) + payload
+    with pytest.raises(FrameError, match="undecodable"):
+        read_frame(io.BytesIO(frame).read)
+
+
+# --- fault-spec grammar -------------------------------------------------------
+
+def test_fault_grammar_job_and_worker_kinds():
+    assert parse_service_fault(None) is None
+    assert parse_service_fault("job=3") == ("job", {3: 1})
+    assert parse_service_fault("job=0,times=4") == ("job", {0: 4})
+    assert parse_service_fault("worker=1") == ("worker", (1, 1, "kill"))
+    assert parse_service_fault("worker=*,exec=2,mode=hang") == \
+        ("worker", ("*", 2, "hang"))
+
+
+@pytest.mark.parametrize("bad", ["sometimes", "job=x", "worker=0,mode=explode",
+                                 "worker=0,times=2", "job=1,exec=2",
+                                 "worker=0,exec=0", "times=3"])
+def test_fault_grammar_rejects_garbage(bad):
+    with pytest.raises(ValueError, match="REPRO_SERVICE_FAULT"):
+        parse_service_fault(bad)
+
+
+# --- transport selection ------------------------------------------------------
+
+def test_unknown_transport_rejected(tmp_path):
+    svc = CampaignService(tmp_path)
+    svc.submit(H2_SCF)
+    with pytest.raises(ValueError, match="carrier-pigeon"):
+        svc.run(transport="carrier-pigeon")
+    with pytest.raises(ValueError):
+        make_transport("carrier-pigeon", svc, 1, svc.config)
+
+
+def test_transport_from_config_and_env(tmp_path, monkeypatch):
+    svc = CampaignService(
+        tmp_path, config=ExecutionConfig(service_transport="local"))
+    svc.submit(H2_SCF)
+    assert svc.run()["transport"] == "local"
+    monkeypatch.setenv("REPRO_SERVICE_TRANSPORT", "local")
+    assert CampaignService().run()["transport"] == "local"
+    monkeypatch.setenv("REPRO_SERVICE_TRANSPORT", "smoke-signal")
+    with pytest.raises(ValueError, match="REPRO_SERVICE_TRANSPORT"):
+        CampaignService().run()
+
+
+# --- process lanes: parity with the local reference ---------------------------
+
+def test_process_transport_bit_identical_to_local(tmp_path):
+    specs = [H2_SCF, LIH_SCF, H2_MD]
+    reports = {}
+    results = {}
+    for name in ("local", "process"):
+        svc = CampaignService(tmp_path / name)
+        for spec in specs:
+            svc.submit(spec)
+        reports[name] = svc.run(nworkers=2, transport=name)
+        results[name] = {r["label"]: _strip(r["result"])
+                         for r in svc.results()}
+    assert reports["local"]["completed"] == 3
+    assert reports["process"]["completed"] == 3
+    assert reports["process"]["failed"] == 0
+    # same energies, same MD coordinates, bit for bit
+    assert results["process"] == results["local"]
+
+
+def test_process_transport_serves_duplicates_from_cache(tmp_path):
+    svc = CampaignService(tmp_path)
+    svc.submit(H2_SCF)
+    svc.submit(LIH_SCF)
+    svc.submit(H2_SCF)              # duplicate: one compute, one hit
+    report = svc.run(nworkers=2, transport="process")
+    assert report["completed"] == 3 and report["failed"] == 0
+    assert report["counters"]["service.cache_hits"] == 1
+    assert report["counters"]["service.cache_misses"] == 2
+    assert report["counters"]["service.frames_sent"] == 2
+
+
+def test_process_preemption_matches_straight_run(tmp_path):
+    straight = CampaignService(tmp_path / "straight")
+    straight.submit(JobSpec(kind="md", molecule="h2", steps=6, dt_fs=0.5))
+    straight.run()
+    sliced = CampaignService(tmp_path / "sliced", preempt_steps=2)
+    job = sliced.submit(JobSpec(kind="md", molecule="h2", steps=6,
+                                dt_fs=0.5))
+    report = sliced.run(transport="process")
+    assert report["completed"] == 1
+    assert report["counters"]["service.jobs_preempted"] == 2
+    ref = _strip(straight.results()[0]["result"]["final"])
+    got = _strip(sliced.results()[0]["result"]["final"])
+    assert got == ref               # slice boundaries leave no trace
+
+
+# --- process lanes: fault tolerance -------------------------------------------
+
+def test_worker_kill_requeues_within_budget(tmp_path, monkeypatch):
+    ref = CampaignService(tmp_path / "ref")
+    ref.submit(H2_SCF)
+    ref.run()
+    reference = _strip(ref.results()[0]["result"])
+
+    monkeypatch.setenv("REPRO_SERVICE_FAULT", "worker=0,mode=kill")
+    svc = CampaignService(tmp_path / "faulty")
+    svc.submit(H2_SCF)
+    report = svc.run(transport="process")
+    c = report["counters"]
+    assert report["completed"] == 1 and report["failed"] == 0
+    assert c["service.worker_deaths"] == 1
+    assert c["service.requeued_jobs"] == 1
+    assert c["service.worker_respawns"] == 1
+    assert report["jobs"][0]["attempts"] == 1
+    # the requeued execution answers exactly what a clean run answers
+    assert _strip(svc.results()[0]["result"]) == reference
+
+
+def test_worker_hang_detected_by_heartbeat_deadline(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_FAULT", "worker=*,mode=hang")
+    monkeypatch.setenv("REPRO_SERVICE_HEARTBEAT", "0.2")
+    svc = CampaignService(tmp_path,
+                          config=ExecutionConfig(pool_timeout=2.0))
+    svc.submit(H2_SCF)
+    report = svc.run(transport="process")
+    c = report["counters"]
+    assert report["completed"] == 1 and report["failed"] == 0
+    assert c["service.worker_deaths"] == 1
+    assert c["service.requeued_jobs"] == 1
+
+
+def test_job_exhausting_budget_fails_only_itself(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_FAULT", "worker=0,exec=1,mode=kill")
+    svc = CampaignService(tmp_path,
+                          config=ExecutionConfig(pool_max_retries=2),
+                          max_retries=0)
+    svc.submit(H2_SCF)
+    svc.submit(LIH_SCF)
+    report = svc.run(transport="process")
+    by_id = {j["id"]: j for j in report["jobs"]}
+    assert by_id[0]["status"] == "failed"
+    assert "LaneWorkerDeath" in by_id[0]["error"]
+    assert by_id[1]["status"] == "done"     # isolation: never the campaign
+
+
+def test_all_lanes_dead_degrades_to_local(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_FAULT", "worker=*,mode=kill")
+    svc = CampaignService(tmp_path,
+                          config=ExecutionConfig(pool_max_retries=0),
+                          max_retries=3)
+    svc.submit(H2_SCF)
+    svc.submit(LIH_SCF)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        report = svc.run(nworkers=2, transport="process")
+    assert report["completed"] == 2 and report["failed"] == 0
+    assert report["counters"]["service.degraded_drains"] == 1
+    assert any("degrading" in str(w.message) for w in caught)
+
+
+def test_injected_job_fault_works_across_transports(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_FAULT", "job=0,times=1")
+    svc = CampaignService(tmp_path, max_retries=1)
+    svc.submit(H2_SCF)
+    report = svc.run(transport="process")
+    assert report["completed"] == 1
+    assert report["jobs"][0]["attempts"] == 1
+    assert report["counters"]["service.jobs_retried"] == 1
+
+
+# --- lifecycle ----------------------------------------------------------------
+
+def test_close_reaps_every_lane_worker(tmp_path):
+    svc = CampaignService(tmp_path)
+    lanes = ProcessLaneTransport(svc, 2, svc.config)
+    procs = [ln.proc for ln in lanes._lanes]
+    assert all(p.is_alive() for p in procs)
+    lanes.drain()                   # empty queue: returns immediately
+    lanes.close()
+    lanes.close()                   # idempotent
+    assert all(not p.is_alive() for p in procs)
+    assert all(ln.proc is None and ln.sock is None for ln in lanes._lanes)
+
+
+def test_local_transport_is_the_thread_reference(tmp_path):
+    svc = CampaignService(tmp_path)
+    svc.submit(H2_SCF)
+    lanes = make_transport("local", svc, 2, svc.config)
+    assert isinstance(lanes, LocalLaneTransport)
+    lanes.drain()
+    lanes.close()
+    assert svc.status()["by_status"] == {"done": 1}

@@ -195,6 +195,42 @@ def test_campaign_submit_run_results(tmp_path, capsys):
     assert "one" in out and "dup" in out and "done" in out
 
 
+def test_campaign_run_process_transport(tmp_path, capsys):
+    d = str(tmp_path / "camp")
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text('{"kind": "scf", "molecule": "h2"}')
+    assert main(["campaign", "--dir", d, "submit",
+                 "--spec", str(spec_file)]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "--dir", d, "run",
+                 "--transport", "process",
+                 "--cache-dir", str(tmp_path / "shared-cache")]) == 0
+    out = capsys.readouterr().out
+    assert "1/1 completed" in out and "process lanes" in out
+    # the shared cache dir (not <campaign>/cache) holds the record
+    assert list((tmp_path / "shared-cache").glob("*.json"))
+    # a second campaign pointed at the same cache is served for free
+    d2 = str(tmp_path / "camp2")
+    assert main(["campaign", "--dir", d2, "submit",
+                 "--spec", str(spec_file)]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "--dir", d2, "run",
+                 "--cache-dir", str(tmp_path / "shared-cache")]) == 0
+    assert "1 cache hit(s)" in capsys.readouterr().out
+
+
+def test_campaign_run_rejects_bad_transport_env(tmp_path, capsys,
+                                                monkeypatch):
+    d = str(tmp_path / "camp")
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text('{"kind": "scf", "molecule": "h2"}')
+    assert main(["campaign", "--dir", d, "submit",
+                 "--spec", str(spec_file)]) == 0
+    monkeypatch.setenv("REPRO_SERVICE_TRANSPORT", "telepathy")
+    with pytest.raises(SystemExit, match="REPRO_SERVICE_TRANSPORT"):
+        main(["campaign", "--dir", d, "run"])
+
+
 def test_campaign_run_json_report(tmp_path, capsys):
     import json
 
